@@ -1,0 +1,394 @@
+// Benchmarks: one per paper table and figure (short, single-load-point
+// renditions of the experiments in internal/exp — run cmd/experiments
+// for the full sweeps), plus ablation benches for the simulator design
+// choices called out in DESIGN.md and microbenchmarks for the hot paths.
+//
+// Simulation benches report the paper's two metrics per run:
+// latency_us (average message latency) and tput_flits/us (network
+// throughput), alongside the usual ns/op.
+package turnmodel_test
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"turnmodel"
+	"turnmodel/internal/adapt"
+	"turnmodel/internal/core"
+	"turnmodel/internal/deadlock"
+	"turnmodel/internal/exp"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/sim"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+// benchSim runs one simulation per iteration and reports the paper's
+// metrics.
+func benchSim(b *testing.B, cfg sim.Config) {
+	var last sim.Result
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		r, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.AvgLatency, "latency_us")
+	b.ReportMetric(last.Throughput, "tput_flits/us")
+}
+
+func benchFigure(b *testing.B, figID string, load float64) {
+	f, ok := exp.FigureByID(figID)
+	if !ok {
+		b.Fatalf("unknown figure %s", figID)
+	}
+	t := f.Topology()
+	pat := f.Pattern(t)
+	for _, alg := range f.Algs(t) {
+		b.Run(alg.Name(), func(b *testing.B) {
+			benchSim(b, sim.Config{
+				Algorithm:     alg,
+				Pattern:       pat,
+				OfferedLoad:   load,
+				WarmupCycles:  2000,
+				MeasureCycles: 6000,
+			})
+		})
+	}
+}
+
+// BenchmarkFig13UniformMesh: Figure 13 (uniform traffic, 16x16 mesh) at
+// a moderate load point.
+func BenchmarkFig13UniformMesh(b *testing.B) { benchFigure(b, "fig13", 1.25) }
+
+// BenchmarkFig14TransposeMesh: Figure 14 (matrix transpose, 16x16 mesh).
+func BenchmarkFig14TransposeMesh(b *testing.B) { benchFigure(b, "fig14", 1.75) }
+
+// BenchmarkFig15TransposeCube: Figure 15 (matrix transpose, 8-cube).
+func BenchmarkFig15TransposeCube(b *testing.B) { benchFigure(b, "fig15", 2.5) }
+
+// BenchmarkFig16ReverseFlipCube: Figure 16 (reverse-flip, 8-cube).
+func BenchmarkFig16ReverseFlipCube(b *testing.B) { benchFigure(b, "fig16", 2.5) }
+
+// BenchmarkFig1Deadlock: the Figure 1 four-packet deadlock scenario,
+// detection included.
+func BenchmarkFig1Deadlock(b *testing.B) {
+	mesh := turnmodel.NewMesh(2, 2)
+	alg := routing.NewFullyAdaptive(mesh)
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunFigure1(alg, 1)
+		if err != nil || !r.Deadlocked {
+			b.Fatalf("expected deadlock: %v %v", r, err)
+		}
+	}
+}
+
+// BenchmarkTableSec5PCube: the Section 5 ten-cube table regeneration.
+func BenchmarkTableSec5PCube(b *testing.B) {
+	cube := topology.NewHypercube(10)
+	for i := 0; i < b.N; i++ {
+		rows := adapt.PCubeWalkChoices(cube, 0b1011010100, 0b0010111001, []int{2, 9, 6, 5, 0, 3})
+		if len(rows) != 7 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTableTurnPairs: the Section 3 twelve-of-sixteen
+// classification (CDG build + cycle check for all 16 sets).
+func BenchmarkTableTurnPairs(b *testing.B) {
+	mesh := topology.NewMesh(6, 6)
+	sets := core.OneTurnPerCyclePairs2D()
+	for i := 0; i < b.N; i++ {
+		free := 0
+		for _, s := range sets {
+			if deadlock.CheckTurnSet(mesh, s).DeadlockFree {
+				free++
+			}
+		}
+		if free != 12 {
+			b.Fatalf("got %d", free)
+		}
+	}
+}
+
+// BenchmarkTheorem2Numbering: west-first CDG build plus numbering
+// verification on the paper's 16x16 mesh.
+func BenchmarkTheorem2Numbering(b *testing.B) {
+	mesh := topology.NewMesh(16, 16)
+	alg := routing.NewWestFirst(mesh)
+	for i := 0; i < b.N; i++ {
+		g := deadlock.BuildCDG(alg)
+		if v := deadlock.VerifyMonotone(g, deadlock.WestFirstNumbering(mesh), deadlock.Decreasing); len(v) != 0 {
+			b.Fatal("violations")
+		}
+	}
+}
+
+// BenchmarkTheorem5Numbering: negative-first on the 8-cube.
+func BenchmarkTheorem5Numbering(b *testing.B) {
+	cube := topology.NewHypercube(8)
+	alg := routing.NewNegativeFirst(cube)
+	for i := 0; i < b.N; i++ {
+		g := deadlock.BuildCDG(alg)
+		if v := deadlock.VerifyMonotone(g, deadlock.NegativeFirstNumbering(cube), deadlock.Increasing); len(v) != 0 {
+			b.Fatal("violations")
+		}
+	}
+}
+
+// BenchmarkSec34Adaptiveness: the Section 3.4 mean S_p/S_f ratio on an
+// 8x8 mesh (the 16x16 version runs in the experiments binary).
+func BenchmarkSec34Adaptiveness(b *testing.B) {
+	mesh := topology.NewMesh(8, 8)
+	nf := func(s, d topology.NodeID) *big.Int { return adapt.SNegativeFirst(mesh, s, d) }
+	for i := 0; i < b.N; i++ {
+		r := adapt.AverageRatio(mesh, nf)
+		if r.MeanRatio <= 0.5 {
+			b.Fatalf("ratio %v", r.MeanRatio)
+		}
+	}
+}
+
+// BenchmarkSec6PathLengths: the Section 6 average path length table.
+func BenchmarkSec6PathLengths(b *testing.B) {
+	mesh := topology.NewMesh(16, 16)
+	cube := topology.NewHypercube(8)
+	for i := 0; i < b.N; i++ {
+		_ = traffic.AverageUniformPathLength(mesh)
+		_ = traffic.AveragePathLength(mesh, traffic.NewMeshTranspose(mesh))
+		_ = traffic.AveragePathLength(cube, traffic.NewReverseFlip(cube))
+	}
+}
+
+// Ablation benches (DESIGN.md): output selection policy, buffer depth,
+// and worm-advance mode, measured on the Figure 14 configuration where
+// adaptivity matters most.
+
+func ablationConfig(t *topology.Topology) sim.Config {
+	return sim.Config{
+		Algorithm:     routing.NewNegativeFirst(t),
+		Pattern:       traffic.NewMeshTranspose(t),
+		OfferedLoad:   1.75,
+		WarmupCycles:  2000,
+		MeasureCycles: 6000,
+	}
+}
+
+// BenchmarkAblationOutputPolicy compares the paper's lowest-dimension
+// policy with random and highest-dimension selection.
+func BenchmarkAblationOutputPolicy(b *testing.B) {
+	mesh := topology.NewMesh(16, 16)
+	for _, pol := range []sim.OutputPolicy{sim.LowestDimension, sim.HighestDimension, sim.RandomPolicy} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := ablationConfig(mesh)
+			cfg.Policy = pol
+			benchSim(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationBufferDepth compares the paper's single-flit input
+// buffers with deeper ones.
+func BenchmarkAblationBufferDepth(b *testing.B) {
+	mesh := topology.NewMesh(16, 16)
+	for _, depth := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			cfg := ablationConfig(mesh)
+			cfg.BufferDepth = depth
+			benchSim(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationAdvanceMode compares chained (synchronized-worm)
+// advance with strict store-and-advance.
+func BenchmarkAblationAdvanceMode(b *testing.B) {
+	mesh := topology.NewMesh(16, 16)
+	for _, strict := range []bool{false, true} {
+		name := "chained"
+		if strict {
+			name = "strict"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := ablationConfig(mesh)
+			cfg.StrictAdvance = strict
+			benchSim(b, cfg)
+		})
+	}
+}
+
+// Microbenchmarks for the hot paths.
+
+// BenchmarkCandidates measures one routing decision.
+func BenchmarkCandidates(b *testing.B) {
+	mesh := topology.NewMesh(16, 16)
+	for _, alg := range []routing.Algorithm{
+		routing.NewDimensionOrder(mesh),
+		routing.NewWestFirst(mesh),
+		routing.NewNegativeFirst(mesh),
+	} {
+		b.Run(alg.Name(), func(b *testing.B) {
+			buf := make([]topology.Direction, 0, 4)
+			src := mesh.ID(topology.Coord{2, 3})
+			dst := mesh.ID(topology.Coord{13, 11})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = alg.Candidates(src, dst, routing.Injected, buf[:0])
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorCycles measures raw simulation speed in
+// cycles/second at a saturating load.
+func BenchmarkSimulatorCycles(b *testing.B) {
+	mesh := topology.NewMesh(16, 16)
+	cfg := sim.Config{
+		Algorithm:     routing.NewNegativeFirst(mesh),
+		Pattern:       traffic.NewUniform(mesh),
+		OfferedLoad:   2.0,
+		WarmupCycles:  1,
+		MeasureCycles: 5000,
+		Seed:          1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(5000*b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkCDGBuild measures dependency-graph construction on the
+// paper's two topologies.
+func BenchmarkCDGBuild(b *testing.B) {
+	for _, topo := range []*topology.Topology{topology.NewMesh(16, 16), topology.NewHypercube(8)} {
+		b.Run(topo.String(), func(b *testing.B) {
+			alg := routing.NewNegativeFirst(topo)
+			for i := 0; i < b.N; i++ {
+				g := deadlock.BuildCDG(alg)
+				if !g.Acyclic() {
+					b.Fatal("cycle")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWalk measures a full route trace.
+func BenchmarkWalk(b *testing.B) {
+	mesh := topology.NewMesh(16, 16)
+	alg := routing.NewWestFirst(mesh)
+	src := mesh.ID(topology.Coord{15, 0})
+	dst := mesh.ID(topology.Coord{0, 15})
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.Walk(alg, src, dst, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationInputPolicy compares the paper's local
+// first-come-first-served input selection with port-order and random
+// arbitration (the selection-policy study the paper defers to its
+// companion work).
+func BenchmarkAblationInputPolicy(b *testing.B) {
+	mesh := topology.NewMesh(16, 16)
+	for _, pol := range []sim.InputPolicy{sim.LocalFCFS, sim.PortOrder, sim.RandomInput} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := ablationConfig(mesh)
+			cfg.Input = pol
+			benchSim(b, cfg)
+		})
+	}
+}
+
+// BenchmarkTorusExtensions: the Section 4.2 torus algorithms plus the
+// dateline virtual-channel scheme under uniform traffic on an 8-ary
+// 2-cube.
+func BenchmarkTorusExtensions(b *testing.B) {
+	torus := topology.NewTorus(8, 2)
+	cfgs := map[string]sim.Config{
+		"wrap-first-hop-nf":    {Algorithm: routing.NewWrapFirstHop(routing.NewNegativeFirst(torus))},
+		"negative-first-torus": {Algorithm: routing.NewNegativeFirstTorus(torus)},
+		"dateline-dor-2vc":     {VCAlgorithm: routing.NewDatelineDOR(torus)},
+	}
+	for name, cfg := range cfgs {
+		b.Run(name, func(b *testing.B) {
+			cfg.Pattern = traffic.NewUniform(torus)
+			cfg.OfferedLoad = 1.5
+			cfg.WarmupCycles = 2000
+			cfg.MeasureCycles = 6000
+			benchSim(b, cfg)
+		})
+	}
+}
+
+// BenchmarkIntroSwitching: the introduction's switching-technique
+// latency comparison at a fixed distance.
+func BenchmarkIntroSwitching(b *testing.B) {
+	mesh := topology.NewMesh(16, 2)
+	for _, sw := range []sim.Switching{sim.Wormhole, sim.VirtualCutThrough, sim.StoreAndForward} {
+		b.Run(sw.String(), func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					Algorithm: routing.NewDimensionOrder(mesh),
+					Script: []sim.ScriptedMessage{{
+						Src: mesh.ID(topology.Coord{0, 0}), Dst: mesh.ID(topology.Coord{12, 0}), Length: 32,
+					}},
+					Switching: sw,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/sim.CyclesPerMicrosecond, "latency_us")
+		})
+	}
+}
+
+// BenchmarkVCCDG: virtual-channel dependency graph verification of the
+// dateline scheme.
+func BenchmarkVCCDG(b *testing.B) {
+	torus := topology.NewTorus(8, 2)
+	alg := routing.NewDatelineDOR(torus)
+	for i := 0; i < b.N; i++ {
+		if !deadlock.BuildVCCDG(alg).Acyclic() {
+			b.Fatal("cycle")
+		}
+	}
+}
+
+// BenchmarkAblationRouterDelay quantifies Section 7's caveat: extra
+// route-computation delay for the adaptive router, on the transpose
+// workload it wins.
+func BenchmarkAblationRouterDelay(b *testing.B) {
+	mesh := topology.NewMesh(16, 16)
+	for _, delay := range []int64{0, 1, 2} {
+		b.Run(fmt.Sprintf("delay%d", delay), func(b *testing.B) {
+			cfg := ablationConfig(mesh)
+			cfg.RouterDelay = delay
+			benchSim(b, cfg)
+		})
+	}
+}
+
+// BenchmarkFullyAdaptiveDoubleY: the extra-channel fully adaptive
+// relation on the Figure 14 workload, against the channel-free
+// negative-first in BenchmarkFig14TransposeMesh.
+func BenchmarkFullyAdaptiveDoubleY(b *testing.B) {
+	mesh := topology.NewMesh(16, 16)
+	benchSim(b, sim.Config{
+		VCAlgorithm:   routing.NewDoubleY(mesh),
+		Pattern:       traffic.NewMeshTranspose(mesh),
+		OfferedLoad:   1.75,
+		WarmupCycles:  2000,
+		MeasureCycles: 6000,
+	})
+}

@@ -1,0 +1,118 @@
+// Command experiments regenerates every figure and table of the paper.
+//
+// Usage:
+//
+//	experiments [-only id[,id...]] [-quick] [-seed N] [-list]
+//
+// With no flags it runs the full experiment suite in paper order and
+// prints each artifact's regenerated rows or series. The full simulation
+// figures take several minutes; -quick runs coarser, shorter sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"turnmodel/internal/exp"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	quick := flag.Bool("quick", false, "shorter simulations and coarser sweeps")
+	seed := flag.Int64("seed", 1, "random seed for the stochastic experiments")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	jsonDir := flag.String("json", "", "also write simulation figures as <dir>/<id>.json")
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := exp.Options{Quick: *quick, Seed: *seed}
+	var chosen []exp.Experiment
+	if *only == "" {
+		chosen = exp.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			chosen = append(chosen, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range chosen {
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		start := time.Now()
+		if err := e.Run(opts, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s FAILED: %v\n", e.ID, err)
+			failed++
+		}
+		if f != nil {
+			f.Close()
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for _, e := range chosen {
+			f, ok := exp.FigureByID(e.ID)
+			if !ok {
+				continue
+			}
+			// The sweeps are cached from the run above, so this is cheap.
+			sweeps, err := exp.RunFigure(f, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s json: %v\n", e.ID, err)
+				failed++
+				continue
+			}
+			jf, err := os.Create(filepath.Join(*jsonDir, e.ID+".json"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if err := exp.WriteFigureJSON(jf, f, sweeps); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s json: %v\n", e.ID, err)
+				failed++
+			}
+			jf.Close()
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

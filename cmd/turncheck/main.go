@@ -1,0 +1,121 @@
+// Command turncheck verifies deadlock freedom of a routing algorithm on
+// a topology by building its channel dependency graph and checking it
+// for cycles (the Dally-Seitz condition behind Theorems 2-5). With a
+// cyclic graph it prints a witness dependency cycle.
+//
+// Usage:
+//
+//	turncheck -topo mesh8x8 -alg west-first
+//	turncheck -topo mesh8x8 -alg fully-adaptive     # prints a cycle
+//	turncheck -topo torus8x2 -alg dateline-dor      # virtual channels
+//	turncheck -topo mesh6x6 -prohibit "north->west,south->west"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"turnmodel/internal/cli"
+	"turnmodel/internal/core"
+	"turnmodel/internal/deadlock"
+	"turnmodel/internal/topology"
+)
+
+func main() {
+	topoFlag := flag.String("topo", "mesh8x8", "topology: meshAxB[xC...], cubeN, torusKxN")
+	algFlag := flag.String("alg", "", "routing algorithm to check")
+	prohibitFlag := flag.String("prohibit", "", "comma-separated prohibited turns (e.g. \"north->west,south->west\") to check as a turn set")
+	flag.Parse()
+
+	t, err := cli.ParseTopology(*topoFlag)
+	check(err)
+
+	if *prohibitFlag != "" {
+		set := core.NewSet(t.NumDims()).WithName("cli")
+		for _, s := range strings.Split(*prohibitFlag, ",") {
+			turn, err := parseTurn(strings.TrimSpace(s))
+			check(err)
+			set.Prohibit(turn)
+		}
+		ok, intact := set.BreaksAllAbstractCycles()
+		fmt.Printf("%v\nbreaks all abstract cycles: %v\n", set, ok)
+		if !ok {
+			fmt.Printf("fully allowed cycles: %v\n", intact)
+		}
+		res := deadlock.CheckTurnSet(t, set)
+		fmt.Printf("turn-relation dependency graph on %v: %v\n", t, res)
+		if !res.DeadlockFree {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *algFlag == "" {
+		fmt.Fprintln(os.Stderr, "turncheck: provide -alg or -prohibit")
+		os.Exit(2)
+	}
+	valg, err := cli.ParseVCAlgorithm(t, *algFlag)
+	check(err)
+	if valg.NumVCs() > 1 {
+		res := deadlock.CheckVC(valg)
+		fmt.Printf("%s on %v: %v\n", valg.Name(), t, res)
+		if !res.DeadlockFree {
+			os.Exit(1)
+		}
+		return
+	}
+	alg, err := cli.ParseAlgorithm(t, *algFlag)
+	check(err)
+	res := deadlock.Check(alg)
+	fmt.Printf("%s on %v: %v\n", alg.Name(), t, res)
+	if !res.DeadlockFree {
+		os.Exit(1)
+	}
+}
+
+func parseTurn(s string) (core.Turn, error) {
+	parts := strings.Split(s, "->")
+	if len(parts) != 2 {
+		return core.Turn{}, fmt.Errorf("turn must be from->to, got %q", s)
+	}
+	from, err := parseDir(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return core.Turn{}, err
+	}
+	to, err := parseDir(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return core.Turn{}, err
+	}
+	return core.Turn{From: from, To: to}, nil
+}
+
+func parseDir(s string) (topology.Direction, error) {
+	switch s {
+	case "west", "w":
+		return topology.Direction{Dim: 0}, nil
+	case "east", "e":
+		return topology.Direction{Dim: 0, Pos: true}, nil
+	case "south", "s":
+		return topology.Direction{Dim: 1}, nil
+	case "north", "n":
+		return topology.Direction{Dim: 1, Pos: true}, nil
+	}
+	if len(s) >= 2 && (s[0] == '+' || s[0] == '-') {
+		dim, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return topology.Direction{}, fmt.Errorf("bad direction %q", s)
+		}
+		return topology.Direction{Dim: dim, Pos: s[0] == '+'}, nil
+	}
+	return topology.Direction{}, fmt.Errorf("bad direction %q", s)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turncheck:", err)
+		os.Exit(1)
+	}
+}

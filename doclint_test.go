@@ -1,0 +1,93 @@
+package turnmodel_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportedDeclarationsDocumented walks every non-test source file in
+// the repository and fails on exported top-level functions, types,
+// methods and grouped declarations that lack a doc comment — keeping the
+// "doc comments on every public item" deliverable honest.
+func TestExportedDeclarationsDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	var missing []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "results" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if f.Name.Name == "main" {
+			return nil // commands document themselves in the package comment
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					missing = append(missing, pos(fset, d.Pos())+" func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				// A group comment documents the group; otherwise each
+				// exported spec needs its own.
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							missing = append(missing, pos(fset, s.Pos())+" type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								missing = append(missing, pos(fset, s.Pos())+" value "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range missing {
+		t.Errorf("undocumented exported declaration: %s", m)
+	}
+}
+
+func pos(fset *token.FileSet, p token.Pos) string {
+	position := fset.Position(p)
+	return position.Filename + ":" + itoa(position.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

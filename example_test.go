@@ -1,0 +1,113 @@
+package turnmodel_test
+
+import (
+	"fmt"
+
+	"turnmodel"
+)
+
+// The turn model's core loop: pick turns to prohibit, verify deadlock
+// freedom on the channel dependency graph, and route.
+func ExampleCheckDeadlockFree() {
+	mesh := turnmodel.NewMesh(8, 8)
+	fmt.Println(turnmodel.CheckDeadlockFree(turnmodel.NewWestFirst(mesh)).DeadlockFree)
+	fmt.Println(turnmodel.CheckDeadlockFree(turnmodel.NewFullyAdaptive(mesh)).DeadlockFree)
+	// Output:
+	// true
+	// false
+}
+
+func ExampleWalk() {
+	mesh := turnmodel.NewMesh(8, 8)
+	wf := turnmodel.NewWestFirst(mesh)
+	path, _ := turnmodel.Walk(wf, mesh.ID([]int{3, 1}), mesh.ID([]int{1, 2}), nil)
+	fmt.Println(turnmodel.FormatPath(mesh, path))
+	// Output:
+	// [3 1] -> [2 1] -> [1 1] -> [1 2]
+}
+
+func ExampleCountShortestPaths() {
+	cube := turnmodel.NewHypercube(10)
+	src := turnmodel.NodeID(0b1011010100)
+	dst := turnmodel.NodeID(0b0010111001)
+	fmt.Println(turnmodel.CountShortestPaths(turnmodel.NewPCube(cube), src, dst))
+	fmt.Println(turnmodel.CountShortestPaths(turnmodel.NewFullyAdaptive(cube), src, dst))
+	// Output:
+	// 36
+	// 720
+}
+
+func ExampleNewTurnSetRouting() {
+	mesh := turnmodel.NewMesh(6, 6)
+	// Prohibit one turn from each abstract cycle (an "east-last" choice)
+	// and check it the way Section 2 prescribes.
+	east := turnmodel.Direction{Dim: 0, Pos: true}
+	north := turnmodel.Direction{Dim: 1, Pos: true}
+	south := turnmodel.Direction{Dim: 1}
+	set := turnmodel.NewTurnSet(2).WithName("east-last")
+	set.Prohibit(turnmodel.Turn{From: east, To: south})
+	set.Prohibit(turnmodel.Turn{From: east, To: north})
+	ok, _ := set.BreaksAllAbstractCycles()
+	fmt.Println(ok)
+	fmt.Println(turnmodel.CheckTurnSetDeadlockFree(mesh, set).DeadlockFree)
+	alg := turnmodel.NewTurnSetRouting(mesh, set, true)
+	path, _ := turnmodel.Walk(alg, mesh.ID([]int{0, 0}), mesh.ID([]int{2, 1}), nil)
+	fmt.Println(turnmodel.FormatPath(mesh, path))
+	// Output:
+	// true
+	// true
+	// [0 0] -> [0 1] -> [1 1] -> [2 1]
+}
+
+func ExampleSummarizeTopology() {
+	fmt.Println(turnmodel.SummarizeTopology(turnmodel.NewMesh(16, 16)))
+	fmt.Println(turnmodel.SummarizeTopology(turnmodel.NewHypercube(8)))
+	// Output:
+	// nodes=256 channels=960 bisection=32 avg-hops=10.67 diameter=30
+	// nodes=256 channels=2048 bisection=256 avg-hops=4.02 diameter=8
+}
+
+func ExampleSaturationBound() {
+	mesh := turnmodel.NewMesh(16, 16)
+	pat := turnmodel.NewMeshTranspose(mesh)
+	xyMax, _ := turnmodel.MaxChannelLoad(mesh, turnmodel.ChannelLoads(turnmodel.NewDimensionOrder(mesh), pat))
+	nfMax, _ := turnmodel.MaxChannelLoad(mesh, turnmodel.ChannelLoads(turnmodel.NewNegativeFirst(mesh), pat))
+	fmt.Printf("xy bound:             %.2f flits/us/node\n", turnmodel.SaturationBound(xyMax))
+	fmt.Printf("negative-first bound: %.2f flits/us/node\n", turnmodel.SaturationBound(nfMax))
+	// Output:
+	// xy bound:             1.33 flits/us/node
+	// negative-first bound: 3.11 flits/us/node
+}
+
+func ExampleRecordWorkload() {
+	mesh := turnmodel.NewMesh(8, 8)
+	// Record the stochastic workload once...
+	workload, _ := turnmodel.RecordWorkload(turnmodel.SimConfig{
+		Algorithm:   turnmodel.NewDimensionOrder(mesh),
+		Pattern:     turnmodel.NewMeshTranspose(mesh),
+		OfferedLoad: 1.0, WarmupCycles: 1, MeasureCycles: 1, Seed: 7,
+	}, 2000)
+	// ...then replay the identical traffic against two algorithms.
+	for _, alg := range []turnmodel.Algorithm{
+		turnmodel.NewDimensionOrder(mesh),
+		turnmodel.NewNegativeFirst(mesh),
+	} {
+		res, _ := turnmodel.Simulate(turnmodel.SimConfig{Algorithm: alg, Script: workload})
+		fmt.Printf("%s delivered %d of %d\n", alg.Name(), res.PacketsDelivered, len(workload))
+	}
+	// Output:
+	// xy delivered 49 of 49
+	// negative-first delivered 49 of 49
+}
+
+func ExampleRenderPath() {
+	mesh := turnmodel.NewMesh(5, 4)
+	nl := turnmodel.NewNorthLast(mesh)
+	path, _ := turnmodel.Walk(nl, mesh.ID([]int{3, 0}), mesh.ID([]int{1, 3}), nil)
+	fmt.Print(turnmodel.RenderPath(mesh, path))
+	// Output:
+	// . D . . .
+	// . ^ . . .
+	// . ^ . . .
+	// . ^ < S .
+}

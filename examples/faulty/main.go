@@ -1,0 +1,49 @@
+// Faulty: nonminimal turn-model routing around a broken channel. The
+// paper argues that nonminimal routing "provides better fault tolerance"
+// (Sections 1-3): a turn set keeps its deadlock freedom whether or not
+// routes are minimal, so a router may legally misroute a packet around a
+// failed channel as long as it only uses allowed turns. This example
+// disables a channel on an 8x8 mesh and routes through the failure with
+// the nonminimal west-first relation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"turnmodel"
+)
+
+func main() {
+	mesh := turnmodel.NewMesh(8, 8)
+	src := mesh.ID([]int{1, 3})
+	dst := mesh.ID([]int{6, 3})
+
+	// Minimal west-first has a unique row path for this pair; trace it.
+	minimal := turnmodel.NewTurnSetRouting(mesh, turnmodel.WestFirstTurns(), true)
+	path, err := turnmodel.Walk(minimal, src, dst, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthy mesh, minimal west-first:\n  %s\n\n", turnmodel.FormatPath(mesh, path))
+
+	// Break an eastward channel on that row.
+	broken := turnmodel.Channel{From: mesh.ID([]int{3, 3}), Dir: turnmodel.Direction{Dim: 0, Pos: true}}
+	mesh.DisableChannel(broken)
+	fmt.Printf("disabling channel %v\n\n", broken)
+
+	// The minimal relation is now stuck on this pair...
+	if _, err := turnmodel.Walk(minimal, src, dst, nil); err != nil {
+		fmt.Printf("minimal west-first fails: %v\n\n", err)
+	}
+
+	// ...but the nonminimal relation routes around the fault, still
+	// using only the six west-first turns, so deadlock freedom holds.
+	nonminimal := turnmodel.NewTurnSetRouting(mesh, turnmodel.WestFirstTurns(), false)
+	path, err = turnmodel.Walk(nonminimal, src, dst, turnmodel.GreedySelector(mesh))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nonminimal west-first detours around the fault:\n  %s\n", turnmodel.FormatPath(mesh, path))
+	fmt.Printf("(%d hops; the minimal distance was %d)\n", len(path)-1, mesh.Distance(src, dst))
+}

@@ -1,0 +1,58 @@
+// Torus: the Section 4.2 story on k-ary n-cubes. Minimal routing that
+// uses wraparound channels deadlocks without extra channels — the ring
+// channels form cycles involving no turns at all — so the paper extends
+// its mesh algorithms nonminimally (wraparound on the first hop, or
+// wraparound channels classified by direction), while the alternative
+// school (Dally-Seitz) buys minimal routing with a second virtual
+// channel per physical channel. This example verifies all four and
+// measures the hop-count price of staying nonminimal.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"turnmodel"
+)
+
+func main() {
+	torus := turnmodel.NewTorus(8, 2) // an 8-ary 2-cube
+
+	// Minimal DOR over the wraparounds: the verifier finds the ring cycle.
+	bad := turnmodel.NewTorusDOR(torus)
+	fmt.Printf("%s: %v\n\n", bad.Name(), turnmodel.CheckDeadlockFree(bad))
+
+	// The paper's extensions are deadlock free without extra channels.
+	wrapFirst := turnmodel.NewWrapFirstHop(turnmodel.NewNegativeFirst(torus))
+	classified := turnmodel.NewNegativeFirstTorus(torus)
+	fmt.Printf("%s: %v\n", wrapFirst.Name(), turnmodel.CheckDeadlockFree(wrapFirst))
+	fmt.Printf("%s: %v\n\n", classified.Name(), turnmodel.CheckDeadlockFree(classified))
+
+	// The virtual-channel alternative: minimal AND deadlock free.
+	dateline := turnmodel.NewDatelineDOR(torus)
+	fmt.Printf("%s: %v\n\n", dateline.Name(), turnmodel.CheckVCDeadlockFree(dateline))
+
+	// The price of each approach, measured: average hops under uniform
+	// traffic at a light load.
+	for _, cfg := range []turnmodel.SimConfig{
+		{Algorithm: wrapFirst},
+		{Algorithm: classified},
+		{VCAlgorithm: dateline},
+	} {
+		cfg.Pattern = turnmodel.NewUniform(torus)
+		cfg.OfferedLoad = 1.0
+		cfg.WarmupCycles = 2000
+		cfg.MeasureCycles = 10000
+		cfg.Seed = 3
+		res, err := turnmodel.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s avg hops %.2f, latency %.2f us\n", res.Algorithm, res.AvgHops, res.AvgLatency)
+	}
+	fmt.Println("\nminimal average distance on this torus is 4.06 hops: the dateline")
+	fmt.Println("scheme achieves it at the cost of twice the buffer space, while the")
+	fmt.Println("paper's extensions stay at one channel per direction and pay extra")
+	fmt.Println("hops instead — wrap-first-hop only shortcuts the first dimension, and")
+	fmt.Println("classified negative-first is strictly nonminimal by construction.")
+}

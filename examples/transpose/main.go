@@ -1,0 +1,50 @@
+// Transpose: the paper's headline comparison. Matrix-transpose traffic
+// is the worst case for nonadaptive xy routing — every packet turns at
+// the diagonal — while the negative-first algorithm routes every
+// transpose packet with full adaptiveness. This example sweeps the
+// offered load on a 16x16 mesh and prints both latency curves, the shape
+// of Figure 14.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"turnmodel"
+)
+
+func main() {
+	mesh := turnmodel.NewMesh(16, 16)
+	pattern := turnmodel.NewMeshTranspose(mesh)
+	loads := []float64{0.5, 1.0, 1.5, 2.0, 2.5}
+
+	for _, alg := range []turnmodel.Algorithm{
+		turnmodel.NewDimensionOrder(mesh), // xy
+		turnmodel.NewNegativeFirst(mesh),
+	} {
+		fmt.Printf("%s routing, %s traffic on %v\n", alg.Name(), pattern.Name(), mesh)
+		fmt.Printf("  %-28s %-24s %s\n", "offered (flits/us/node)", "throughput (flits/us)", "latency (us)")
+		for _, load := range loads {
+			res, err := turnmodel.Simulate(turnmodel.SimConfig{
+				Algorithm:     alg,
+				Pattern:       pattern,
+				OfferedLoad:   load,
+				WarmupCycles:  5000,
+				MeasureCycles: 20000,
+				Seed:          7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			marker := ""
+			if !res.Sustainable {
+				marker = "  (beyond saturation)"
+			}
+			fmt.Printf("  %-28.2f %-24.1f %.2f%s\n", load, res.Throughput, res.AvgLatency, marker)
+		}
+		fmt.Println()
+	}
+	fmt.Println("negative-first keeps latency flat well past the load where xy saturates:")
+	fmt.Println("its phase structure makes every transpose packet fully adaptive, while")
+	fmt.Println("xy forces all of them through the diagonal (compare Figure 14).")
+}

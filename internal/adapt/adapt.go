@@ -1,0 +1,290 @@
+// Package adapt quantifies the degree of adaptiveness of routing
+// algorithms (Sections 3.4, 4.1 and 5): S_algorithm, the number of
+// shortest paths an algorithm allows between a source and destination,
+// in both closed form and by exhaustive enumeration over the routing
+// relation, together with the S_p/S_f ratios the paper reports.
+package adapt
+
+import (
+	"math/big"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// Multinomial returns (sum deltas)! / prod(delta_i!), the number of
+// shortest paths of a fully adaptive algorithm in a mesh: S_f of
+// Section 3.4 generalized to n dimensions.
+func Multinomial(deltas []int) *big.Int {
+	total := 0
+	for _, d := range deltas {
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	r := factorial(total)
+	for _, d := range deltas {
+		if d < 0 {
+			d = -d
+		}
+		r.Div(r, factorial(d))
+	}
+	return r
+}
+
+func factorial(n int) *big.Int {
+	return new(big.Int).MulRange(1, int64(max(n, 1)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SFull returns S_f for a source/destination pair in mesh t.
+func SFull(t *topology.Topology, src, dst topology.NodeID) *big.Int {
+	deltas := make([]int, t.NumDims())
+	for i := range deltas {
+		deltas[i] = t.Delta(src, dst, i)
+	}
+	return Multinomial(deltas)
+}
+
+// SWestFirst returns the Section 3.4 closed form for the west-first
+// algorithm on a 2D mesh: the full multinomial when the destination is
+// not to the west, otherwise 1 (all westward hops must come first, in a
+// single order).
+func SWestFirst(t *topology.Topology, src, dst topology.NodeID) *big.Int {
+	if t.Delta(src, dst, 0) >= 0 {
+		return SFull(t, src, dst)
+	}
+	return big.NewInt(1)
+}
+
+// SNorthLast returns the Section 3.4 closed form for the north-last
+// algorithm: the full multinomial when the destination is not to the
+// north, otherwise 1.
+func SNorthLast(t *topology.Topology, src, dst topology.NodeID) *big.Int {
+	if t.Delta(src, dst, 1) <= 0 {
+		return SFull(t, src, dst)
+	}
+	return big.NewInt(1)
+}
+
+// SNegativeFirst returns the Section 3.4 closed form for the
+// negative-first algorithm, generalized to n dimensions: the full
+// multinomial when all nonzero offsets share one sign (the whole route
+// lies in a single phase), otherwise the product of the phase
+// multinomials — for the 2D case, 1 on mixed-sign pairs, as the paper's
+// table states (the paper's "0 otherwise" is a typographical slip: the
+// algorithm always has at least one minimal path, and the exhaustive
+// count in this package's tests confirms the value 1).
+func SNegativeFirst(t *topology.Topology, src, dst topology.NodeID) *big.Int {
+	var neg, pos []int
+	for i := 0; i < t.NumDims(); i++ {
+		d := t.Delta(src, dst, i)
+		if d < 0 {
+			neg = append(neg, d)
+		} else if d > 0 {
+			pos = append(pos, d)
+		}
+	}
+	// Phase 1 routes the negative offsets adaptively, phase 2 the
+	// positive ones; orderings never interleave across phases.
+	r := Multinomial(neg)
+	return r.Mul(r, Multinomial(pos))
+}
+
+// SABONF returns the shortest-path count of the all-but-one-negative-
+// first algorithm with the given excluded dimension: phase 1 routes the
+// negative offsets of the non-excluded dimensions adaptively; phase 2
+// routes everything else adaptively.
+func SABONF(t *topology.Topology, src, dst topology.NodeID, excluded int) *big.Int {
+	var phase1, phase2 []int
+	for i := 0; i < t.NumDims(); i++ {
+		d := t.Delta(src, dst, i)
+		if d == 0 {
+			continue
+		}
+		if d < 0 && i != excluded {
+			phase1 = append(phase1, d)
+		} else {
+			phase2 = append(phase2, d)
+		}
+	}
+	r := Multinomial(phase1)
+	return r.Mul(r, Multinomial(phase2))
+}
+
+// SABOPL returns the shortest-path count of the all-but-one-positive-
+// last algorithm with the given special dimension: phase 1 routes the
+// negative offsets plus the special dimension's positive offset
+// adaptively; phase 2 routes the remaining positive offsets adaptively.
+func SABOPL(t *topology.Topology, src, dst topology.NodeID, special int) *big.Int {
+	var phase1, phase2 []int
+	for i := 0; i < t.NumDims(); i++ {
+		d := t.Delta(src, dst, i)
+		if d == 0 {
+			continue
+		}
+		if d < 0 || i == special {
+			phase1 = append(phase1, d)
+		} else {
+			phase2 = append(phase2, d)
+		}
+	}
+	r := Multinomial(phase1)
+	return r.Mul(r, Multinomial(phase2))
+}
+
+// CountShortestPaths exhaustively counts the shortest paths from src to
+// dst that the routing relation permits, by dynamic programming over
+// (node, arrival direction) states. It works for any Algorithm whose
+// candidates on shortest paths are themselves minimal (all algorithms in
+// this repository when walked minimally).
+func CountShortestPaths(alg routing.Algorithm, src, dst topology.NodeID) *big.Int {
+	t := alg.Topology()
+	if src == dst {
+		return big.NewInt(1)
+	}
+	type state struct {
+		node topology.NodeID
+		in   int // direction index, 2n for injected
+	}
+	memo := make(map[state]*big.Int)
+	w := 2 * t.NumDims()
+	var count func(cur topology.NodeID, in routing.InPort) *big.Int
+	count = func(cur topology.NodeID, in routing.InPort) *big.Int {
+		if cur == dst {
+			return big.NewInt(1)
+		}
+		key := state{node: cur, in: w}
+		if !in.Injected {
+			key.in = in.Dir.Index()
+		}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		total := new(big.Int)
+		dist := t.Distance(cur, dst)
+		for _, d := range routing.CandidateList(alg, cur, dst, in) {
+			next, ok := t.Neighbor(cur, d)
+			if !ok {
+				continue
+			}
+			if t.Distance(next, dst) != dist-1 {
+				continue // ignore nonminimal candidates
+			}
+			total.Add(total, count(next, routing.Arrived(d)))
+		}
+		memo[key] = total
+		return total
+	}
+	return count(src, routing.Injected)
+}
+
+// RatioStats summarizes S_p/S_f over source-destination pairs.
+type RatioStats struct {
+	// MeanRatio is the average of S_p/S_f across all ordered pairs of
+	// distinct nodes.
+	MeanRatio float64
+	// FractionSingle is the fraction of pairs with S_p = 1.
+	FractionSingle float64
+	// Pairs is the number of pairs examined.
+	Pairs int
+}
+
+// SFunc computes a shortest-path count for a pair.
+type SFunc func(src, dst topology.NodeID) *big.Int
+
+// AverageRatio computes RatioStats for sp against the fully adaptive
+// count over every ordered pair of distinct nodes in t. Section 3.4
+// reports that the mean ratio exceeds 1/2 for the 2D partially adaptive
+// algorithms, and Section 4.1 that it exceeds 1/2^(n-1) in n dimensions.
+func AverageRatio(t *topology.Topology, sp SFunc) RatioStats {
+	var sumRatio float64
+	var single, pairs int
+	one := big.NewInt(1)
+	for src := topology.NodeID(0); src < topology.NodeID(t.Nodes()); src++ {
+		for dst := topology.NodeID(0); dst < topology.NodeID(t.Nodes()); dst++ {
+			if src == dst {
+				continue
+			}
+			pairs++
+			p := sp(src, dst)
+			f := SFull(t, src, dst)
+			r, _ := new(big.Rat).SetFrac(p, f).Float64()
+			sumRatio += r
+			if p.Cmp(one) == 0 {
+				single++
+			}
+		}
+	}
+	return RatioStats{
+		MeanRatio:      sumRatio / float64(pairs),
+		FractionSingle: float64(single) / float64(pairs),
+		Pairs:          pairs,
+	}
+}
+
+// HopChoice records one row of the Section 5 table: the node the header
+// occupies, the number of minimal choices the p-cube algorithm offers
+// there, the extra nonminimal choices, and the dimension the listed
+// path takes.
+type HopChoice struct {
+	Node              topology.NodeID
+	Choices           int
+	NonminimalChoices int
+	DimensionTaken    int
+	Phase             int // 1 or 2; 0 for the destination row
+}
+
+// PCubeWalkChoices reproduces the Section 5 table: it walks the given
+// dimension sequence from src to dst under minimal p-cube routing and,
+// at each hop, reports how many minimal choices were available and how
+// many more the nonminimal variant (Figure 12) would add.
+func PCubeWalkChoices(t *topology.Topology, src, dst topology.NodeID, dims []int) []HopChoice {
+	if !t.IsHypercube() {
+		panic("adapt: PCubeWalkChoices requires a hypercube")
+	}
+	n := t.NumDims()
+	cur := routing.AddrOf(src)
+	d := routing.AddrOf(dst)
+	var rows []HopChoice
+	for _, dim := range dims {
+		minimal := routing.PCubeMinimalSteps(cur, d, n)
+		phase1 := cur&^d != 0
+		nonminimal := routing.PCubeNonminimalSteps(cur, d, n, phase1)
+		phase := 2
+		if phase1 {
+			phase = 1
+		}
+		rows = append(rows, HopChoice{
+			Node:              cur.NodeOf(),
+			Choices:           popcount(minimal),
+			NonminimalChoices: popcount(nonminimal) - popcount(minimal),
+			DimensionTaken:    dim,
+			Phase:             phase,
+		})
+		if minimal&(1<<uint(dim)) == 0 {
+			panic("adapt: listed path takes a dimension p-cube does not offer")
+		}
+		cur ^= 1 << uint(dim)
+	}
+	if cur != d {
+		panic("adapt: dimension sequence does not reach the destination")
+	}
+	rows = append(rows, HopChoice{Node: cur.NodeOf()})
+	return rows
+}
+
+func popcount(a routing.Addr) int {
+	n := 0
+	for ; a != 0; a &= a - 1 {
+		n++
+	}
+	return n
+}

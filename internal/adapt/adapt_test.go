@@ -1,0 +1,295 @@
+package adapt
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// TestAdaptivenessFormulasMatchEnumeration verifies every Section 3.4
+// closed form against exhaustive path counting over the actual routing
+// relations, for all pairs of a 5x5 mesh.
+func TestAdaptivenessFormulasMatchEnumeration2D(t *testing.T) {
+	topo := topology.NewMesh(5, 5)
+	cases := []struct {
+		alg routing.Algorithm
+		fn  SFunc
+	}{
+		{routing.NewFullyAdaptive(topo), func(s, d topology.NodeID) *big.Int { return SFull(topo, s, d) }},
+		{routing.NewWestFirst(topo), func(s, d topology.NodeID) *big.Int { return SWestFirst(topo, s, d) }},
+		{routing.NewNorthLast(topo), func(s, d topology.NodeID) *big.Int { return SNorthLast(topo, s, d) }},
+		{routing.NewNegativeFirst(topo), func(s, d topology.NodeID) *big.Int { return SNegativeFirst(topo, s, d) }},
+	}
+	for _, c := range cases {
+		for src := topology.NodeID(0); src < topology.NodeID(topo.Nodes()); src++ {
+			for dst := topology.NodeID(0); dst < topology.NodeID(topo.Nodes()); dst++ {
+				if src == dst {
+					continue
+				}
+				want := c.fn(src, dst)
+				got := CountShortestPaths(c.alg, src, dst)
+				if got.Cmp(want) != 0 {
+					t.Fatalf("%s %v->%v: enumerated %v, formula %v",
+						c.alg.Name(), topo.Coord(src), topo.Coord(dst), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPaperNegativeFirstZeroIsTypo: the paper's S_negative-first table
+// prints "0 otherwise", but a deadlock-free connected algorithm always
+// has at least one path; the enumeration shows the value is 1 on every
+// mixed-sign pair.
+func TestPaperNegativeFirstZeroIsTypo(t *testing.T) {
+	topo := topology.NewMesh(6, 6)
+	alg := routing.NewNegativeFirst(topo)
+	one := big.NewInt(1)
+	src := topo.ID(topology.Coord{1, 4})
+	dst := topo.ID(topology.Coord{4, 1}) // east-south: mixed signs
+	if got := CountShortestPaths(alg, src, dst); got.Cmp(one) != 0 {
+		t.Fatalf("mixed-sign pair has %v paths, want exactly 1", got)
+	}
+}
+
+// TestABONFABOPLFormulas: the n-dimensional phase formulas match
+// enumeration on a 3D mesh.
+func TestABONFABOPLFormulas(t *testing.T) {
+	topo := topology.NewMesh(3, 3, 3)
+	for e := 0; e < 3; e++ {
+		alg := routing.NewABONF(topo, e)
+		for src := topology.NodeID(0); src < topology.NodeID(topo.Nodes()); src++ {
+			for dst := topology.NodeID(0); dst < topology.NodeID(topo.Nodes()); dst++ {
+				if src == dst {
+					continue
+				}
+				want := SABONF(topo, src, dst, e)
+				if got := CountShortestPaths(alg, src, dst); got.Cmp(want) != 0 {
+					t.Fatalf("abonf(%d) %d->%d: enumerated %v, formula %v", e, src, dst, got, want)
+				}
+			}
+		}
+	}
+	for s := 0; s < 3; s++ {
+		alg := routing.NewABOPL(topo, s)
+		for src := topology.NodeID(0); src < topology.NodeID(topo.Nodes()); src++ {
+			for dst := topology.NodeID(0); dst < topology.NodeID(topo.Nodes()); dst++ {
+				if src == dst {
+					continue
+				}
+				want := SABOPL(topo, src, dst, s)
+				if got := CountShortestPaths(alg, src, dst); got.Cmp(want) != 0 {
+					t.Fatalf("abopl(%d) %d->%d: enumerated %v, formula %v", s, src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPCubeCountFormula: S_p-cube = h1!h0! matches enumeration on a
+// 5-cube, and S_f = h!.
+func TestPCubeCountFormula(t *testing.T) {
+	topo := topology.NewHypercube(5)
+	pc := routing.NewPCube(topo)
+	full := routing.NewFullyAdaptive(topo)
+	for src := topology.NodeID(0); src < 32; src++ {
+		for dst := topology.NodeID(0); dst < 32; dst++ {
+			if src == dst {
+				continue
+			}
+			want := routing.NumShortestPCube(routing.AddrOf(src), routing.AddrOf(dst))
+			if got := CountShortestPaths(pc, src, dst); got.Int64() != want {
+				t.Fatalf("p-cube %d->%d: enumerated %v, formula %d", src, dst, got, want)
+			}
+			wantF := routing.NumShortestFullHypercube(routing.AddrOf(src), routing.AddrOf(dst))
+			if got := CountShortestPaths(full, src, dst); got.Int64() != wantF {
+				t.Fatalf("full %d->%d: enumerated %v, formula %d", src, dst, got, wantF)
+			}
+		}
+	}
+}
+
+// TestMultinomial basics and symmetry.
+func TestMultinomial(t *testing.T) {
+	if got := Multinomial([]int{3, 2}); got.Int64() != 10 {
+		t.Errorf("C(5,2) = %v, want 10", got)
+	}
+	if got := Multinomial([]int{-3, 2}); got.Int64() != 10 {
+		t.Errorf("sign should not matter: %v", got)
+	}
+	if got := Multinomial([]int{0, 0}); got.Int64() != 1 {
+		t.Errorf("empty multinomial = %v, want 1", got)
+	}
+	if got := Multinomial([]int{2, 3, 4}); got.Int64() != 1260 {
+		t.Errorf("9!/(2!3!4!) = %v, want 1260", got)
+	}
+}
+
+// TestMultinomialProperty: multinomial(a,b) = C(a+b, a).
+func TestMultinomialProperty(t *testing.T) {
+	f := func(ra, rb uint8) bool {
+		a, b := int(ra)%12, int(rb)%12
+		m := Multinomial([]int{a, b})
+		binom := new(big.Int).Binomial(int64(a+b), int64(a))
+		return m.Cmp(binom) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSRatioBounds: 1 <= S_p <= S_f for every pair (property).
+func TestSRatioBounds(t *testing.T) {
+	topo := topology.NewMesh(9, 9)
+	one := big.NewInt(1)
+	f := func(ra, rb uint8) bool {
+		src := topology.NodeID(int(ra) % topo.Nodes())
+		dst := topology.NodeID(int(rb) % topo.Nodes())
+		if src == dst {
+			return true
+		}
+		full := SFull(topo, src, dst)
+		for _, sp := range []*big.Int{
+			SWestFirst(topo, src, dst),
+			SNorthLast(topo, src, dst),
+			SNegativeFirst(topo, src, dst),
+		} {
+			if sp.Cmp(one) < 0 || sp.Cmp(full) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAverageRatioClaims: Section 3.4's quantitative statements on the
+// 16x16 mesh: S_p = 1 for at least half of the pairs, yet the mean
+// S_p/S_f exceeds 1/2.
+func TestAverageRatioClaims(t *testing.T) {
+	topo := topology.NewMesh(16, 16)
+	for _, c := range []struct {
+		name string
+		fn   SFunc
+	}{
+		{"west-first", func(s, d topology.NodeID) *big.Int { return SWestFirst(topo, s, d) }},
+		{"north-last", func(s, d topology.NodeID) *big.Int { return SNorthLast(topo, s, d) }},
+		{"negative-first", func(s, d topology.NodeID) *big.Int { return SNegativeFirst(topo, s, d) }},
+	} {
+		r := AverageRatio(topo, c.fn)
+		if r.MeanRatio <= 0.5 {
+			t.Errorf("%s: mean S_p/S_f = %.4f, paper claims > 1/2", c.name, r.MeanRatio)
+		}
+		if r.FractionSingle < 0.5 {
+			t.Errorf("%s: fraction with S_p=1 = %.4f, paper claims at least half", c.name, r.FractionSingle)
+		}
+		if r.Pairs != 256*255 {
+			t.Errorf("%s: %d pairs", c.name, r.Pairs)
+		}
+	}
+	// The fully adaptive ratio is exactly 1.
+	full := AverageRatio(topo, func(s, d topology.NodeID) *big.Int { return SFull(topo, s, d) })
+	if full.MeanRatio != 1 {
+		t.Errorf("fully adaptive mean ratio = %v, want 1", full.MeanRatio)
+	}
+}
+
+// TestHypercubeRatioBound: Section 4.1: the mean ratio stays above
+// 1/2^(n-1) in an n-cube.
+func TestHypercubeRatioBound(t *testing.T) {
+	topo := topology.NewHypercube(8)
+	r := AverageRatio(topo, func(s, d topology.NodeID) *big.Int { return SNegativeFirst(topo, s, d) })
+	lower := 1.0 / float64(int(1)<<7)
+	if r.MeanRatio <= lower {
+		t.Errorf("mean ratio %.6f should exceed 1/2^(n-1) = %.6f", r.MeanRatio, lower)
+	}
+	if r.MeanRatio >= 1 {
+		t.Errorf("mean ratio %.6f should be below 1 (partially adaptive)", r.MeanRatio)
+	}
+}
+
+// TestSection5TenCubeTable reproduces the paper's Section 5 table
+// exactly: choices 3(+2), 2(+2), 1(+2), 3, 2, 1 along the printed path.
+func TestSection5TenCubeTable(t *testing.T) {
+	topo := topology.NewHypercube(10)
+	src := topology.NodeID(0b1011010100)
+	dst := topology.NodeID(0b0010111001)
+	rows := PCubeWalkChoices(topo, src, dst, []int{2, 9, 6, 5, 0, 3})
+	wantChoices := []int{3, 2, 1, 3, 2, 1}
+	wantExtra := []int{2, 2, 2, 0, 0, 0}
+	wantAddr := []topology.NodeID{
+		0b1011010100, 0b1011010000, 0b0011010000,
+		0b0010010000, 0b0010110000, 0b0010110001, 0b0010111001,
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(rows))
+	}
+	for i, r := range rows {
+		if r.Node != wantAddr[i] {
+			t.Errorf("row %d: address %010b, want %010b", i, uint(r.Node), uint(wantAddr[i]))
+		}
+		if i == len(rows)-1 {
+			continue
+		}
+		if r.Choices != wantChoices[i] || r.NonminimalChoices != wantExtra[i] {
+			t.Errorf("row %d: choices %d(+%d), want %d(+%d)", i, r.Choices, r.NonminimalChoices, wantChoices[i], wantExtra[i])
+		}
+		wantPhase := 1
+		if i >= 3 {
+			wantPhase = 2
+		}
+		if r.Phase != wantPhase {
+			t.Errorf("row %d: phase %d, want %d", i, r.Phase, wantPhase)
+		}
+	}
+}
+
+// TestPCubeWalkChoicesPanics on bad walks.
+func TestPCubeWalkChoicesPanics(t *testing.T) {
+	topo := topology.NewHypercube(4)
+	for name, fn := range map[string]func(){
+		"not reaching": func() { PCubeWalkChoices(topo, 0, 0b1111, []int{0}) },
+		"illegal dim":  func() { PCubeWalkChoices(topo, 0b0001, 0b0011, []int{0}) }, // dim 0 is 0->? c0=1,d0=1: not offered minimally
+		"non-cube":     func() { PCubeWalkChoices(topology.NewMesh(4, 4), 0, 1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestCountShortestPathsSelf.
+func TestCountShortestPathsSelf(t *testing.T) {
+	topo := topology.NewMesh(3, 3)
+	if got := CountShortestPaths(routing.NewWestFirst(topo), 4, 4); got.Int64() != 1 {
+		t.Errorf("self count = %v, want 1", got)
+	}
+}
+
+// TestDimensionOrderSinglePath: the nonadaptive baseline has exactly one
+// path everywhere — the "no adaptiveness" statement under Figure 3.
+func TestDimensionOrderSinglePath(t *testing.T) {
+	topo := topology.NewMesh(6, 6)
+	alg := routing.NewDimensionOrder(topo)
+	one := big.NewInt(1)
+	for src := topology.NodeID(0); src < topology.NodeID(topo.Nodes()); src++ {
+		for dst := topology.NodeID(0); dst < topology.NodeID(topo.Nodes()); dst++ {
+			if src == dst {
+				continue
+			}
+			if CountShortestPaths(alg, src, dst).Cmp(one) != 0 {
+				t.Fatalf("xy has multiple paths %d->%d", src, dst)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package analytic provides closed-form and flow-based performance
+// analysis of the studied networks, after Dally's k-ary n-cube analysis
+// (the paper's reference [8], which Section 1's low-dimension arguments
+// — "fewer channels and higher channel bandwidth per bisection density"
+// — lean on): channel counts, bisection widths, zero-load latencies, and
+// channel-load saturation bounds for any routing relation and traffic
+// pattern. The simulator tests validate measured saturation against
+// these bounds.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/sim"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+// BisectionChannels returns the number of unidirectional network
+// channels crossing a minimal bisection of the topology (both
+// directions counted), cutting the longest dimension in half.
+func BisectionChannels(t *topology.Topology) int {
+	dims := t.Dims()
+	// Cut the largest dimension; the cross-section is the product of the
+	// other dimensions.
+	cut, cross := 0, 1
+	for i, k := range dims {
+		if k > dims[cut] {
+			cut = i
+		}
+	}
+	for i, k := range dims {
+		if i != cut {
+			cross *= k
+		}
+	}
+	pairs := cross // one channel pair per cross-section node
+	if t.Kind() == topology.KindTorus && dims[cut] > 2 {
+		pairs *= 2 // the wraparound channels also cross the cut
+	}
+	return 2 * pairs
+}
+
+// ZeroLoadLatencyCycles returns the uncontended latency in cycles of an
+// length-flit packet travelling hops channels under the given switching
+// technique: hops + length for wormhole and virtual cut-through,
+// approximately hops*length for store-and-forward (the introduction's
+// comparison).
+func ZeroLoadLatencyCycles(sw sim.Switching, hops, length int) float64 {
+	if sw == sim.StoreAndForward {
+		return float64((hops + 1) * length)
+	}
+	return float64(hops + length)
+}
+
+// BisectionBound returns an upper bound on sustainable throughput in
+// flits/us/node under a traffic pattern, from bisection bandwidth: no
+// more traffic can cross the bisection than its channels carry.
+// crossFraction is the fraction of traffic crossing the bisection
+// (about 1/2 for uniform traffic).
+func BisectionBound(t *topology.Topology, crossFraction float64) float64 {
+	if crossFraction <= 0 {
+		return math.Inf(1)
+	}
+	bisectionFlits := float64(BisectionChannels(t)) * sim.CyclesPerMicrosecond
+	return bisectionFlits / crossFraction / float64(t.Nodes())
+}
+
+// ChannelLoads computes each channel's expected traversal rate when
+// every traffic-generating node injects one flit: with per-node
+// injection rate lambda, channel c carries lambda*loads[c] flits per
+// unit time. Flow splits evenly among a relation's candidates at each
+// hop (the idealization of adaptive selection; exact for deterministic
+// relations). The result is indexed by dense channel ID.
+//
+// Only minimal relations make sense here: flow conservation requires
+// routes to terminate, which the per-hop distance decrease guarantees.
+func ChannelLoads(alg routing.Algorithm, pat traffic.Pattern) []float64 {
+	if !pat.Deterministic() {
+		panic("analytic: ChannelLoads requires a deterministic pattern; use UniformChannelLoads")
+	}
+	t := alg.Topology()
+	loads := make([]float64, t.NumChannelIDs())
+	for src := topology.NodeID(0); src < topology.NodeID(t.Nodes()); src++ {
+		dst := pat.Dest(src, nil)
+		if dst == src {
+			continue
+		}
+		addFlow(alg, src, dst, 1, loads)
+	}
+	return loads
+}
+
+// UniformChannelLoads is ChannelLoads for the uniform pattern: each
+// node's unit injection spreads evenly over the other destinations.
+func UniformChannelLoads(alg routing.Algorithm) []float64 {
+	t := alg.Topology()
+	loads := make([]float64, t.NumChannelIDs())
+	n := t.Nodes()
+	w := 1.0 / float64(n-1)
+	for src := topology.NodeID(0); src < topology.NodeID(n); src++ {
+		for dst := topology.NodeID(0); dst < topology.NodeID(n); dst++ {
+			if src != dst {
+				addFlow(alg, src, dst, w, loads)
+			}
+		}
+	}
+	return loads
+}
+
+// addFlow routes `flow` units from src to dst through the relation,
+// splitting evenly at every node among the minimal candidates, and
+// accumulates per-channel flow. Flow at a (node, inDir) state is pooled
+// per node: candidates of phase algorithms here do not depend on the
+// input port, and turn-derived relations are handled conservatively by
+// pooling (the split approximates the adaptive selection anyway).
+func addFlow(alg routing.Algorithm, src, dst topology.NodeID, flow float64, loads []float64) {
+	t := alg.Topology()
+	// Process nodes in decreasing distance from dst so each node's
+	// accumulated inflow is final before it is distributed.
+	pending := map[topology.NodeID]float64{src: flow}
+	// A simple worklist ordered by distance: collect nodes by distance
+	// level.
+	maxD := t.Distance(src, dst)
+	levels := make([]map[topology.NodeID]float64, maxD+1)
+	levels[maxD] = pending
+	for d := maxD; d > 0; d-- {
+		for node, f := range levels[d] {
+			cands := routing.CandidateList(alg, node, dst, routing.Injected)
+			// Keep minimal candidates only.
+			var minimal []topology.Direction
+			for _, dir := range cands {
+				if next, ok := t.Neighbor(node, dir); ok && t.Distance(next, dst) == d-1 {
+					minimal = append(minimal, dir)
+				}
+			}
+			if len(minimal) == 0 {
+				continue // stranded flow (e.g. faults); drop it
+			}
+			share := f / float64(len(minimal))
+			for _, dir := range minimal {
+				ch := topology.Channel{From: node, Dir: dir}
+				loads[t.ChannelID(ch)] += share
+				next := t.ChannelTo(ch)
+				if next == dst {
+					continue
+				}
+				if levels[d-1] == nil {
+					levels[d-1] = make(map[topology.NodeID]float64)
+				}
+				levels[d-1][next] += share
+			}
+		}
+	}
+}
+
+// MaxLoad returns the largest channel load and the channel carrying it.
+func MaxLoad(t *topology.Topology, loads []float64) (float64, topology.Channel) {
+	best, bestID := 0.0, 0
+	for id, l := range loads {
+		if l > best {
+			best, bestID = l, id
+		}
+	}
+	return best, t.ChannelFromID(bestID)
+}
+
+// SaturationBound converts a maximum channel load into an upper bound on
+// sustainable injection in flits/us/node: the busiest channel cannot
+// carry more than the channel bandwidth.
+func SaturationBound(maxLoad float64) float64 {
+	if maxLoad <= 0 {
+		return math.Inf(1)
+	}
+	return sim.CyclesPerMicrosecond / maxLoad
+}
+
+// Summary describes a topology's static figures of merit (the Section 1
+// comparison between low- and high-dimensional networks).
+type Summary struct {
+	Nodes             int
+	Channels          int
+	BisectionChannels int
+	AvgMinimalHops    float64
+	Diameter          int
+}
+
+// Summarize computes a topology's Summary.
+func Summarize(t *topology.Topology) Summary {
+	diameter := 0
+	for dim, k := range t.Dims() {
+		span := k - 1
+		if t.Kind() == topology.KindTorus && k > 2 {
+			span = k / 2
+		}
+		_ = dim
+		diameter += span
+	}
+	return Summary{
+		Nodes:             t.Nodes(),
+		Channels:          t.NumChannels(),
+		BisectionChannels: BisectionChannels(t),
+		AvgMinimalHops:    traffic.AverageUniformPathLength(t),
+		Diameter:          diameter,
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("nodes=%d channels=%d bisection=%d avg-hops=%.2f diameter=%d",
+		s.Nodes, s.Channels, s.BisectionChannels, s.AvgMinimalHops, s.Diameter)
+}

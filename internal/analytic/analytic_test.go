@@ -1,0 +1,248 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/sim"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+func TestBisectionChannels(t *testing.T) {
+	cases := []struct {
+		topo *topology.Topology
+		want int
+	}{
+		// 16x16 mesh: 16 channel pairs cross the vertical cut.
+		{topology.NewMesh(16, 16), 32},
+		// 8-ary 2-cube: wraparounds double it.
+		{topology.NewTorus(8, 2), 32},
+		// Binary 8-cube: 2^(n-1) pairs.
+		{topology.NewHypercube(8), 256},
+		{topology.NewMesh(4, 8), 8}, // cut the length-8 dimension: 4 pairs
+	}
+	for _, c := range cases {
+		if got := BisectionChannels(c.topo); got != c.want {
+			t.Errorf("%v: bisection %d, want %d", c.topo, got, c.want)
+		}
+	}
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	if got := ZeroLoadLatencyCycles(sim.Wormhole, 10, 100); got != 110 {
+		t.Errorf("wormhole zero-load = %v, want 110", got)
+	}
+	if got := ZeroLoadLatencyCycles(sim.VirtualCutThrough, 10, 100); got != 110 {
+		t.Errorf("vct zero-load = %v", got)
+	}
+	if got := ZeroLoadLatencyCycles(sim.StoreAndForward, 10, 100); got != 1100 {
+		t.Errorf("saf zero-load = %v, want 1100", got)
+	}
+}
+
+// TestUniformChannelLoadsDOR: the classic result for dimension-order
+// routing on a k x k mesh under uniform traffic: the busiest channels
+// are the central ones with load about k/4 (exactly k^2/(4(k-1)) per
+// generated flit... verified against the direct computation).
+func TestUniformChannelLoadsDOR(t *testing.T) {
+	k := 8
+	topo := topology.NewMesh(k, k)
+	loads := UniformChannelLoads(routing.NewDimensionOrder(topo))
+	maxLoad, ch := MaxLoad(topo, loads)
+	// The busiest x-channel crosses the vertical center cut: flits from
+	// the k/2 columns on one side to the k/2 on the other, divided by
+	// the k rows... the closed form for the center channel of one row:
+	// (k/2)*(k/2)/(k-1) per source... just sanity-bound it.
+	if maxLoad < float64(k)/4/1.2 || maxLoad > float64(k)/2 {
+		t.Errorf("max load %.3f out of the expected k/4-ish range", maxLoad)
+	}
+	// DOR's busiest channels are x channels (dimension 0).
+	if ch.Dir.Dim != 0 {
+		t.Errorf("busiest DOR channel should be in x, got %v", ch)
+	}
+	// Flow conservation: the loads sum to nodes * average path length
+	// (every node's unit flit contributes one traversal per hop).
+	var total float64
+	for _, l := range loads {
+		total += l
+	}
+	wantHops := float64(topo.Nodes()) * traffic.AverageUniformPathLength(topo)
+	if math.Abs(total-wantHops) > 1e-6 {
+		t.Errorf("total load %.4f != nodes*avg hops %.4f", total, wantHops)
+	}
+}
+
+// TestFlowConservationAdaptive: the even-split flow of adaptive
+// relations also sums to the average path length.
+func TestFlowConservationAdaptive(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	for _, alg := range []routing.Algorithm{
+		routing.NewWestFirst(topo),
+		routing.NewNegativeFirst(topo),
+		routing.NewFullyAdaptive(topo),
+	} {
+		loads := UniformChannelLoads(alg)
+		var total float64
+		for _, l := range loads {
+			total += l
+		}
+		want := float64(topo.Nodes()) * traffic.AverageUniformPathLength(topo)
+		if math.Abs(total-want) > 1e-6 {
+			t.Errorf("%s: total load %.4f != nodes*avg hops %.4f", alg.Name(), total, want)
+		}
+	}
+}
+
+// TestTransposeLoads: under the paper's transpose pattern, xy's busiest
+// channel is far more loaded than negative-first's — the analytic
+// explanation of Figure 14.
+func TestTransposeLoads(t *testing.T) {
+	topo := topology.NewMesh(16, 16)
+	pat := traffic.NewMeshTranspose(topo)
+	xyMax, _ := MaxLoad(topo, ChannelLoads(routing.NewDimensionOrder(topo), pat))
+	nfMax, _ := MaxLoad(topo, ChannelLoads(routing.NewNegativeFirst(topo), pat))
+	if nfMax >= xyMax {
+		t.Errorf("negative-first max load %.3f should be below xy's %.3f", nfMax, xyMax)
+	}
+	if xyMax/nfMax < 1.5 {
+		t.Errorf("xy should be at least 1.5x more loaded on transpose: %.3f vs %.3f", xyMax, nfMax)
+	}
+	// The saturation bounds order accordingly.
+	if SaturationBound(nfMax) <= SaturationBound(xyMax) {
+		t.Error("saturation bounds should favor negative-first")
+	}
+}
+
+// TestSaturationBoundVsSimulation: measured sustainable throughput stays
+// below the channel-load bound (it is an upper bound) yet within a
+// wormhole-typical factor of it.
+func TestSaturationBoundVsSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	topo := topology.NewMesh(16, 16)
+	alg := routing.NewDimensionOrder(topo)
+	bound := SaturationBound(func() float64 {
+		m, _ := MaxLoad(topo, UniformChannelLoads(alg))
+		return m
+	}())
+	// Find the measured sustainable edge with a short sweep.
+	var best float64
+	for _, load := range []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0} {
+		res, err := sim.Run(sim.Config{
+			Algorithm: alg, Pattern: traffic.NewUniform(topo),
+			OfferedLoad: load, WarmupCycles: 3000, MeasureCycles: 10000, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sustainable {
+			best = load
+		}
+	}
+	if best > bound*1.1 {
+		t.Errorf("measured sustainable %.2f exceeds the analytic bound %.2f", best, bound)
+	}
+	if best < bound*0.2 {
+		t.Errorf("measured sustainable %.2f implausibly far below the bound %.2f", best, bound)
+	}
+}
+
+// TestBisectionBound: for uniform traffic on the paper's mesh the
+// bisection bound lands near the classic 2*B*Bc/N.
+func TestBisectionBound(t *testing.T) {
+	topo := topology.NewMesh(16, 16)
+	got := BisectionBound(topo, 0.5)
+	// 32 channels * 20 flits/us / 0.5 / 256 nodes = 5 flits/us/node.
+	if math.Abs(got-5.0) > 1e-9 {
+		t.Errorf("bisection bound = %v, want 5.0", got)
+	}
+	if !math.IsInf(BisectionBound(topo, 0), 1) {
+		t.Error("zero crossing fraction should give an unbounded rate")
+	}
+}
+
+// TestSummarize reproduces the Section 1 comparison directionally:
+// the hypercube has a lower diameter and more bisection channels; the
+// mesh has fewer channels per node.
+func TestSummarize(t *testing.T) {
+	mesh := Summarize(topology.NewMesh(16, 16))
+	cube := Summarize(topology.NewHypercube(8))
+	if mesh.Nodes != 256 || cube.Nodes != 256 {
+		t.Fatal("both have 256 nodes")
+	}
+	if cube.Diameter >= mesh.Diameter {
+		t.Errorf("hypercube diameter %d should be below mesh %d", cube.Diameter, mesh.Diameter)
+	}
+	if cube.BisectionChannels <= mesh.BisectionChannels {
+		t.Error("hypercube should have the larger bisection")
+	}
+	if cube.Channels <= mesh.Channels {
+		t.Error("hypercube has more channels")
+	}
+	if mesh.String() == "" || cube.String() == "" {
+		t.Error("empty summaries")
+	}
+	torus := Summarize(topology.NewTorus(16, 2))
+	if torus.Diameter != 16 {
+		t.Errorf("16-ary 2-cube diameter = %d, want 16", torus.Diameter)
+	}
+}
+
+// TestChannelLoadsPanicsOnStochastic.
+func TestChannelLoadsPanicsOnStochastic(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ChannelLoads(routing.NewDimensionOrder(topo), traffic.NewUniform(topo))
+}
+
+// TestMeasuredHotChannelMatchesAnalytic: the simulator's measured
+// hottest channel under the transpose pattern carries the load the flow
+// analysis predicts is maximal (same dimension class and a matching
+// utilization ordering across algorithms).
+func TestMeasuredHotChannelMatchesAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	topo := topology.NewMesh(16, 16)
+	pat := traffic.NewMeshTranspose(topo)
+	type obs struct {
+		name                string
+		analyticMax         float64
+		measuredUtilization float64
+	}
+	var results []obs
+	for _, alg := range []routing.Algorithm{routing.NewDimensionOrder(topo), routing.NewNegativeFirst(topo)} {
+		maxLoad, _ := MaxLoad(topo, ChannelLoads(alg, pat))
+		res, err := sim.Run(sim.Config{
+			Algorithm: alg, Pattern: pat,
+			OfferedLoad: 1.0, WarmupCycles: 2000, MeasureCycles: 8000, Seed: 71,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, obs{alg.Name(), maxLoad, res.MaxChannelUtilization})
+	}
+	// xy's analytic max load is much higher than negative-first's, and
+	// the measured utilizations must order the same way.
+	if results[0].analyticMax <= results[1].analyticMax {
+		t.Fatalf("analytic loads out of order: %+v", results)
+	}
+	if results[0].measuredUtilization <= results[1].measuredUtilization {
+		t.Errorf("measured utilizations should match the analytic ordering: %+v", results)
+	}
+	// At equal offered load, measured utilization scales with analytic
+	// load: the ratio of utilizations should be within 2x of the ratio
+	// of loads (slack for blocking effects).
+	loadRatio := results[0].analyticMax / results[1].analyticMax
+	utilRatio := results[0].measuredUtilization / results[1].measuredUtilization
+	if utilRatio < loadRatio/2 || utilRatio > loadRatio*2 {
+		t.Errorf("utilization ratio %.2f too far from analytic load ratio %.2f", utilRatio, loadRatio)
+	}
+}

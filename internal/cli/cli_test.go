@@ -1,0 +1,145 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"turnmodel/internal/sim"
+)
+
+func TestParseTopology(t *testing.T) {
+	good := map[string]string{
+		"mesh16x16": "16x16 mesh",
+		"mesh3x4x5": "3x4x5 mesh",
+		"cube8":     "binary 8-cube",
+		"torus8x2":  "8-ary 2-cube",
+	}
+	for spec, want := range good {
+		topo, err := ParseTopology(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if topo.String() != want {
+			t.Errorf("%s parsed to %v, want %s", spec, topo, want)
+		}
+	}
+	for _, bad := range []string{"", "grid4x4", "mesh", "meshAxB", "mesh1x4", "cube0", "cubeX", "torus4", "torus4x4x4"} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	mesh, _ := ParseTopology("mesh8x8")
+	for _, name := range []string{"xy", "west-first", "nl", "negative-first", "abonf", "abopl", "fully-adaptive"} {
+		alg, err := ParseAlgorithm(mesh, name)
+		if err != nil || alg == nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := ParseAlgorithm(mesh, "bogus"); err == nil || !strings.Contains(err.Error(), "known:") {
+		t.Errorf("unknown algorithm should list the options, got %v", err)
+	}
+	// Constructor panics surface as errors, not crashes.
+	mesh3, _ := ParseTopology("mesh4x4x4")
+	if _, err := ParseAlgorithm(mesh3, "west-first"); err == nil {
+		t.Error("west-first on a 3D mesh should error")
+	}
+	torus, _ := ParseTopology("torus8x2")
+	if _, err := ParseAlgorithm(mesh, "negative-first-torus"); err == nil {
+		t.Error("negative-first-torus on a mesh should error")
+	}
+	if _, err := ParseAlgorithm(torus, "negative-first-torus"); err != nil {
+		t.Errorf("negative-first-torus on a torus: %v", err)
+	}
+}
+
+func TestParseVCAlgorithm(t *testing.T) {
+	torus, _ := ParseTopology("torus8x2")
+	mesh, _ := ParseTopology("mesh8x8")
+	if v, err := ParseVCAlgorithm(torus, "dateline-dor"); err != nil || v.NumVCs() != 2 {
+		t.Errorf("dateline: %v %v", v, err)
+	}
+	if v, err := ParseVCAlgorithm(mesh, "double-y"); err != nil || v.NumVCs() != 2 {
+		t.Errorf("double-y: %v %v", v, err)
+	}
+	if _, err := ParseVCAlgorithm(mesh, "dateline-dor"); err == nil {
+		t.Error("dateline on a mesh should error")
+	}
+	if v, err := ParseVCAlgorithm(mesh, "west-first"); err != nil || v.NumVCs() != 1 {
+		t.Errorf("plain algorithm should adapt to one VC: %v %v", v, err)
+	}
+}
+
+func TestParseTraffic(t *testing.T) {
+	mesh, _ := ParseTopology("mesh16x16")
+	cube, _ := ParseTopology("cube8")
+	for _, name := range []string{"uniform", "transpose", "bit-complement", "hotspot", "tornado"} {
+		if _, err := ParseTraffic(mesh, name); err != nil {
+			t.Errorf("%s on mesh: %v", name, err)
+		}
+	}
+	for _, name := range []string{"reverse-flip", "bit-reversal", "shuffle", "matrix-transpose"} {
+		if _, err := ParseTraffic(cube, name); err != nil {
+			t.Errorf("%s on cube: %v", name, err)
+		}
+	}
+	if _, err := ParseTraffic(mesh, "nonsense"); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+	// Transpose dispatches by topology kind.
+	p, _ := ParseTraffic(cube, "transpose")
+	if p.Name() != "matrix-transpose" {
+		t.Errorf("cube transpose resolved to %s", p.Name())
+	}
+}
+
+func TestParseLoads(t *testing.T) {
+	loads, err := ParseLoads("0.5:2.0:0.5")
+	if err != nil || len(loads) != 4 || loads[0] != 0.5 || loads[3] != 2.0 {
+		t.Errorf("range parse: %v %v", loads, err)
+	}
+	loads, err = ParseLoads("1, 2.5, 3")
+	if err != nil || len(loads) != 3 || loads[1] != 2.5 {
+		t.Errorf("list parse: %v %v", loads, err)
+	}
+	for _, bad := range []string{"", "1:2", "2:1:0.5", "1:2:-1", "0:1:0.5", "a,b", "-1"} {
+		if _, err := ParseLoads(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	if p, err := ParsePolicy("xy"); err != nil || p != sim.LowestDimension {
+		t.Errorf("xy policy: %v %v", p, err)
+	}
+	if p, err := ParsePolicy("random"); err != nil || p != sim.RandomPolicy {
+		t.Errorf("random policy: %v %v", p, err)
+	}
+	if _, err := ParsePolicy("zigzag"); err == nil {
+		t.Error("unknown output policy should fail")
+	}
+	if p, err := ParseInputPolicy("fcfs"); err != nil || p != sim.LocalFCFS {
+		t.Errorf("fcfs: %v %v", p, err)
+	}
+	if p, err := ParseInputPolicy("port"); err != nil || p != sim.PortOrder {
+		t.Errorf("port: %v %v", p, err)
+	}
+	if _, err := ParseInputPolicy("psychic"); err == nil {
+		t.Error("unknown input policy should fail")
+	}
+}
+
+func TestAlgorithmNamesAllParse(t *testing.T) {
+	mesh, _ := ParseTopology("mesh8x8")
+	torus, _ := ParseTopology("torus8x2")
+	for _, name := range AlgorithmNames() {
+		if _, errMesh := ParseAlgorithm(mesh, name); errMesh != nil {
+			if _, errTorus := ParseAlgorithm(torus, name); errTorus != nil {
+				t.Errorf("%s parses on neither mesh nor torus: %v / %v", name, errMesh, errTorus)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"turnmodel/internal/topology"
+)
+
+// This file constructs the allowed-turn sets of the paper's named routing
+// algorithms. Each is derived from the algorithm's phase structure: a
+// turn from direction a to direction b is allowed exactly when the
+// algorithm may travel b at some point after travelling a.
+
+func dir(dim int, pos bool) topology.Direction { return topology.Direction{Dim: dim, Pos: pos} }
+
+// DimensionOrderSet returns the allowed-turn set of dimension-order (xy /
+// e-cube) routing on an n-dimensional mesh: a turn from dimension i to
+// dimension j is allowed only when i < j. For n = 2 this is exactly the
+// four allowed turns of Figure 3.
+func DimensionOrderSet(n int) *Set {
+	s := NewSet(n).WithName("dimension-order")
+	for _, t := range AllTurns(n) {
+		if t.From.Dim >= t.To.Dim {
+			s.Prohibit(t)
+		}
+	}
+	return s
+}
+
+// phaseSet builds a turn set from a two-phase direction partition:
+// directions in phase1 may be used first, adaptively; directions in
+// phase2 may be used after, adaptively; returning from a phase-2
+// direction to a phase-1 direction is prohibited. Directions within one
+// phase may turn to each other freely.
+func phaseSet(n int, name string, phase1 map[topology.Direction]bool) *Set {
+	s := NewSet(n).WithName(name)
+	for _, t := range AllTurns(n) {
+		if !phase1[t.From] && phase1[t.To] {
+			s.Prohibit(t)
+		}
+	}
+	return s
+}
+
+// NegativeFirstSet returns the allowed-turn set of the negative-first
+// algorithm for an n-dimensional mesh: the turns from a positive
+// direction to a negative direction are prohibited (Figure 10a for n=2).
+// Exactly n(n-1) turns — one per abstract cycle, the minimum of
+// Theorem 1 — are prohibited.
+func NegativeFirstSet(n int) *Set {
+	phase1 := make(map[topology.Direction]bool)
+	for i := 0; i < n; i++ {
+		phase1[dir(i, false)] = true
+	}
+	return phaseSet(n, "negative-first", phase1)
+}
+
+// AllButOneNegativeFirstSet returns the turn set of the
+// all-but-one-negative-first (ABONF) algorithm: packets route first
+// adaptively in the negative directions of all dimensions except
+// excluded, then adaptively in the remaining directions. The paper's
+// canonical choice excludes dimension n-1; with n=2 and excluded=1 this
+// is the west-first algorithm of Figure 5a.
+func AllButOneNegativeFirstSet(n, excluded int) *Set {
+	if excluded < 0 || excluded >= n {
+		panic(fmt.Sprintf("core: excluded dimension %d out of range for %d dims", excluded, n))
+	}
+	phase1 := make(map[topology.Direction]bool)
+	for i := 0; i < n; i++ {
+		if i != excluded {
+			phase1[dir(i, false)] = true
+		}
+	}
+	return phaseSet(n, fmt.Sprintf("abonf(excl %d)", excluded), phase1)
+}
+
+// WestFirstSet returns the west-first turn set for a 2D mesh (Figure 5a):
+// the two turns to the west are prohibited.
+func WestFirstSet() *Set {
+	return AllButOneNegativeFirstSet(2, 1).WithName("west-first")
+}
+
+// AllButOnePositiveLastSet returns the turn set of the
+// all-but-one-positive-last (ABOPL) algorithm: packets route first
+// adaptively in all negative directions plus the positive direction of
+// dimension special, then adaptively in the remaining positive
+// directions. With n=2 and special=0 this is the north-last algorithm of
+// Figure 9a.
+func AllButOnePositiveLastSet(n, special int) *Set {
+	if special < 0 || special >= n {
+		panic(fmt.Sprintf("core: special dimension %d out of range for %d dims", special, n))
+	}
+	phase1 := make(map[topology.Direction]bool)
+	for i := 0; i < n; i++ {
+		phase1[dir(i, false)] = true
+	}
+	phase1[dir(special, true)] = true
+	return phaseSet(n, fmt.Sprintf("abopl(dim %d)", special), phase1)
+}
+
+// NorthLastSet returns the north-last turn set for a 2D mesh (Figure 9a):
+// the two turns when travelling north are prohibited.
+func NorthLastSet() *Set {
+	return AllButOnePositiveLastSet(2, 0).WithName("north-last")
+}
+
+// FullyAdaptiveSet returns the set with every 90-degree turn allowed.
+// Without extra channels this set does NOT prevent deadlock; it is the
+// reference point for maximal adaptiveness.
+func FullyAdaptiveSet(n int) *Set {
+	return NewSet(n).WithName("fully-adaptive")
+}
+
+// Figure4Set returns a turn set that prohibits exactly one turn from each
+// of the two abstract cycles of the 2D mesh yet still permits deadlock
+// (Figure 4). It prohibits the right turn south->west (from the
+// clockwise cycle) and the left turn west->south (from the
+// counterclockwise cycle). Three consecutive left turns rotate a packet
+// the same net 90 degrees as one right turn, so the three allowed left
+// turns (west->south excepted) are equivalent to the prohibited right
+// turn and vice versa: both cycles still exist and deadlock is possible.
+//
+// In general, prohibiting the reverse pair {x->y (right), y->x (left)}
+// is exactly what fails; the other 12 of the 16 one-turn-per-cycle
+// choices prevent deadlock (Section 3). The deadlock package verifies
+// this computationally.
+func Figure4Set() *Set {
+	w := dir(0, false)
+	s := dir(1, false)
+	return NewSet(2).WithName("figure-4").
+		Prohibit(Turn{s, w}). // right turn, from the clockwise cycle
+		Prohibit(Turn{w, s})  // left turn, from the counterclockwise cycle
+}
+
+// OneTurnPerCyclePairs2D enumerates the 16 ways to prohibit one turn from
+// each of the two abstract cycles of a 2D mesh (Section 3: "Of the 16
+// different ways to prohibit these two turns, 12 prevent deadlock and
+// three are unique if symmetry is taken into account"). Each returned
+// set prohibits exactly two turns.
+func OneTurnPerCyclePairs2D() []*Set {
+	cycles := AbstractCycles(2)
+	if len(cycles) != 2 {
+		panic("core: expected two abstract cycles in 2D")
+	}
+	var sets []*Set
+	for i, t1 := range cycles[0].Turns {
+		for j, t2 := range cycles[1].Turns {
+			s := NewSet(2).WithName(fmt.Sprintf("pair(%d,%d): %v,%v", i, j, t1, t2))
+			s.Prohibit(t1, t2)
+			sets = append(sets, s)
+		}
+	}
+	return sets
+}

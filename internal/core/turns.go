@@ -1,0 +1,299 @@
+// Package core implements the turn model, the paper's primary
+// contribution: analyzing the directions in which packets can turn in a
+// network and the abstract cycles those turns can form, then prohibiting
+// just enough turns to break every cycle.
+//
+// The package provides the turn calculus for n-dimensional meshes and
+// k-ary n-cubes: enumeration of 90-degree turns, the abstract cycles of
+// Figure 2, turn sets with prohibition bookkeeping, the counting results
+// of Theorem 1, and the allowed-turn sets induced by the paper's routing
+// algorithms (Figures 3, 5a, 9a and 10a).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"turnmodel/internal/topology"
+)
+
+// Turn is an ordered pair of directions: a packet travelling From turns
+// to travel To.
+type Turn struct {
+	From, To topology.Direction
+}
+
+func (t Turn) String() string {
+	return fmt.Sprintf("%s->%s", t.From, t.To)
+}
+
+// Degree classifies a turn by its angle.
+type Degree int
+
+const (
+	// Deg0 is a transition between two virtual directions sharing one
+	// physical direction (only possible with multiple channels per
+	// direction, which the base topologies here do not have).
+	Deg0 Degree = 0
+	// Deg90 is a turn between two distinct, non-opposite directions.
+	Deg90 Degree = 90
+	// Deg180 is a reversal.
+	Deg180 Degree = 180
+)
+
+// TurnDegree classifies t.
+func TurnDegree(t Turn) Degree {
+	if t.From == t.To {
+		return Deg0
+	}
+	if t.From.Dim == t.To.Dim {
+		return Deg180
+	}
+	return Deg90
+}
+
+// AllTurns returns every 90-degree turn in an n-dimensional mesh, in a
+// deterministic order. Per the counting in Section 2 there are 4n(n-1)
+// of them.
+func AllTurns(n int) []Turn {
+	var turns []Turn
+	for fi := 0; fi < 2*n; fi++ {
+		from := topology.DirectionFromIndex(fi)
+		for ti := 0; ti < 2*n; ti++ {
+			to := topology.DirectionFromIndex(ti)
+			if TurnDegree(Turn{from, to}) == Deg90 {
+				turns = append(turns, Turn{from, to})
+			}
+		}
+	}
+	return turns
+}
+
+// NumTurns returns 4n(n-1), the number of 90-degree turns in an
+// n-dimensional mesh (Section 2).
+func NumTurns(n int) int { return 4 * n * (n - 1) }
+
+// NumAbstractCycles returns n(n-1), the number of abstract cycles of four
+// turns (two per plane, Section 2).
+func NumAbstractCycles(n int) int { return n * (n - 1) }
+
+// MinimumProhibited returns the minimum number of turns that must be
+// prohibited to prevent deadlock in an n-dimensional mesh: n(n-1), a
+// quarter of the turns (Theorem 1).
+func MinimumProhibited(n int) int { return n * (n - 1) }
+
+// Cycle is one abstract cycle of four turns (Figure 2). The turns are
+// listed in traversal order; the To direction of each turn equals the
+// From direction of the next.
+type Cycle struct {
+	// Plane identifies the two dimensions [i, j] (i < j) the cycle lies in.
+	Plane [2]int
+	// Clockwise distinguishes the two cycles of the plane. With dimension
+	// i drawn as x (east positive) and j as y (north positive), the
+	// clockwise cycle is the one made of right turns.
+	Clockwise bool
+	Turns     [4]Turn
+}
+
+func (c Cycle) String() string {
+	rot := "ccw"
+	if c.Clockwise {
+		rot = "cw"
+	}
+	return fmt.Sprintf("cycle(plane %d-%d %s: %v %v %v %v)", c.Plane[0], c.Plane[1], rot,
+		c.Turns[0], c.Turns[1], c.Turns[2], c.Turns[3])
+}
+
+// AbstractCycles enumerates the n(n-1) abstract cycles of an
+// n-dimensional mesh: two per plane, each consisting of four 90-degree
+// turns. The cycles partition the 4n(n-1) turns (Theorem 1's proof).
+func AbstractCycles(n int) []Cycle {
+	var cycles []Cycle
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pi, ni := topology.Direction{Dim: i, Pos: true}, topology.Direction{Dim: i}
+			pj, nj := topology.Direction{Dim: j, Pos: true}, topology.Direction{Dim: j}
+			// Clockwise (right turns): east->south, south->west,
+			// west->north, north->east.
+			cycles = append(cycles, Cycle{
+				Plane:     [2]int{i, j},
+				Clockwise: true,
+				Turns:     [4]Turn{{pi, nj}, {nj, ni}, {ni, pj}, {pj, pi}},
+			})
+			// Counterclockwise (left turns): east->north, north->west,
+			// west->south, south->east.
+			cycles = append(cycles, Cycle{
+				Plane:     [2]int{i, j},
+				Clockwise: false,
+				Turns:     [4]Turn{{pi, pj}, {pj, ni}, {ni, nj}, {nj, pi}},
+			})
+		}
+	}
+	return cycles
+}
+
+// Set records which turns of an n-dimensional mesh are allowed. A fresh
+// Set allows every 90-degree turn and no 180-degree turns; use Prohibit
+// and Allow180 to shape it. The zero value is not usable; construct with
+// NewSet.
+type Set struct {
+	n          int
+	allowed    map[Turn]bool
+	allowed180 map[Turn]bool
+	name       string
+}
+
+// NewSet returns a Set for an n-dimensional mesh with all 90-degree
+// turns allowed.
+func NewSet(n int) *Set {
+	s := &Set{
+		n:          n,
+		allowed:    make(map[Turn]bool),
+		allowed180: make(map[Turn]bool),
+		name:       "custom",
+	}
+	for _, t := range AllTurns(n) {
+		s.allowed[t] = true
+	}
+	return s
+}
+
+// WithName sets a descriptive name and returns s.
+func (s *Set) WithName(name string) *Set {
+	s.name = name
+	return s
+}
+
+// Name returns the descriptive name of the set.
+func (s *Set) Name() string { return s.name }
+
+// Dims returns the number of mesh dimensions the set is defined over.
+func (s *Set) Dims() int { return s.n }
+
+// Prohibit marks 90-degree turns as prohibited. It panics on turns that
+// are not 90 degrees or that involve out-of-range dimensions.
+func (s *Set) Prohibit(turns ...Turn) *Set {
+	for _, t := range turns {
+		s.check(t)
+		s.allowed[t] = false
+	}
+	return s
+}
+
+// Permit re-allows previously prohibited 90-degree turns.
+func (s *Set) Permit(turns ...Turn) *Set {
+	for _, t := range turns {
+		s.check(t)
+		s.allowed[t] = true
+	}
+	return s
+}
+
+// Allow180 incorporates a 180-degree turn (Step 6 of the model). The
+// turn must be a reversal.
+func (s *Set) Allow180(turns ...Turn) *Set {
+	for _, t := range turns {
+		if TurnDegree(t) != Deg180 {
+			panic(fmt.Sprintf("core: %v is not a 180-degree turn", t))
+		}
+		s.allowed180[t] = true
+	}
+	return s
+}
+
+func (s *Set) check(t Turn) {
+	if TurnDegree(t) != Deg90 {
+		panic(fmt.Sprintf("core: %v is not a 90-degree turn", t))
+	}
+	if t.From.Dim >= s.n || t.To.Dim >= s.n {
+		panic(fmt.Sprintf("core: turn %v out of range for %d dims", t, s.n))
+	}
+}
+
+// Allowed reports whether the turn is allowed. 0-degree turns (same
+// direction, i.e. continuing straight) are always allowed; 90-degree
+// turns follow the prohibition bookkeeping; 180-degree turns are allowed
+// only if incorporated with Allow180.
+func (s *Set) Allowed(t Turn) bool {
+	switch TurnDegree(t) {
+	case Deg0:
+		return true
+	case Deg180:
+		return s.allowed180[t]
+	default:
+		return s.allowed[t]
+	}
+}
+
+// Prohibited returns the prohibited 90-degree turns in deterministic
+// order.
+func (s *Set) Prohibited() []Turn {
+	var out []Turn
+	for _, t := range AllTurns(s.n) {
+		if !s.allowed[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// NumAllowed returns the number of allowed 90-degree turns.
+func (s *Set) NumAllowed() int {
+	n := 0
+	for _, ok := range s.allowed {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, name: s.name,
+		allowed:    make(map[Turn]bool, len(s.allowed)),
+		allowed180: make(map[Turn]bool, len(s.allowed180)),
+	}
+	for k, v := range s.allowed {
+		c.allowed[k] = v
+	}
+	for k, v := range s.allowed180 {
+		c.allowed180[k] = v
+	}
+	return c
+}
+
+// BreaksAllAbstractCycles reports whether at least one turn of every
+// abstract cycle is prohibited (Step 4's necessary condition), returning
+// any fully allowed cycles. This is necessary but NOT sufficient for
+// deadlock freedom: Figure 4 exhibits a set that breaks both abstract
+// cycles of the 2D mesh yet still deadlocks through complex cycles. Use
+// the deadlock package's channel dependency analysis for a sufficient
+// check.
+func (s *Set) BreaksAllAbstractCycles() (bool, []Cycle) {
+	var intact []Cycle
+	for _, c := range AbstractCycles(s.n) {
+		broken := false
+		for _, t := range c.Turns {
+			if !s.allowed[t] {
+				broken = true
+				break
+			}
+		}
+		if !broken {
+			intact = append(intact, c)
+		}
+	}
+	return len(intact) == 0, intact
+}
+
+// String lists the prohibited turns.
+func (s *Set) String() string {
+	p := s.Prohibited()
+	strs := make([]string, len(p))
+	for i, t := range p {
+		strs[i] = t.String()
+	}
+	sort.Strings(strs)
+	return fmt.Sprintf("turnset %s (prohibited: %v)", s.name, strs)
+}

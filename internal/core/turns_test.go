@@ -1,0 +1,339 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"turnmodel/internal/topology"
+)
+
+func dirOf(dim int, pos bool) topology.Direction { return topology.Direction{Dim: dim, Pos: pos} }
+
+func TestTurnDegree(t *testing.T) {
+	e, w := dirOf(0, true), dirOf(0, false)
+	n := dirOf(1, true)
+	cases := []struct {
+		turn Turn
+		want Degree
+	}{
+		{Turn{e, e}, Deg0},
+		{Turn{e, w}, Deg180},
+		{Turn{e, n}, Deg90},
+		{Turn{n, w}, Deg90},
+	}
+	for _, c := range cases {
+		if got := TurnDegree(c.turn); got != c.want {
+			t.Errorf("TurnDegree(%v) = %v, want %v", c.turn, got, c.want)
+		}
+	}
+}
+
+func TestTheorem1Counting(t *testing.T) {
+	// "In an n-dimensional mesh ... 4n(n-1) total turns. These turns form
+	// two abstract cycles in each of the n(n-1)/2 planes, making n(n-1)
+	// total cycles of four turns."
+	for n := 2; n <= 7; n++ {
+		if got := len(AllTurns(n)); got != NumTurns(n) || got != 4*n*(n-1) {
+			t.Errorf("n=%d: %d turns, want %d", n, got, 4*n*(n-1))
+		}
+		cycles := AbstractCycles(n)
+		if len(cycles) != NumAbstractCycles(n) || len(cycles) != n*(n-1) {
+			t.Errorf("n=%d: %d cycles, want %d", n, len(cycles), n*(n-1))
+		}
+		if MinimumProhibited(n) != NumTurns(n)/4 {
+			t.Errorf("n=%d: minimum prohibited should be a quarter of the turns", n)
+		}
+	}
+}
+
+func TestAbstractCyclesPartitionTurns(t *testing.T) {
+	// The proof of Theorem 1 partitions the 4n(n-1) turns into n(n-1)
+	// cycles of four turns each.
+	for n := 2; n <= 6; n++ {
+		seen := make(map[Turn]int)
+		for _, c := range AbstractCycles(n) {
+			for _, turn := range c.Turns {
+				seen[turn]++
+			}
+		}
+		if len(seen) != NumTurns(n) {
+			t.Errorf("n=%d: cycles cover %d distinct turns, want %d", n, len(seen), NumTurns(n))
+		}
+		for turn, count := range seen {
+			if count != 1 {
+				t.Errorf("n=%d: turn %v appears in %d cycles, want 1", n, turn, count)
+			}
+		}
+	}
+}
+
+func TestAbstractCyclesChain(t *testing.T) {
+	// Each cycle's turns chain: the To direction of each turn is the
+	// From direction of the next, wrapping around.
+	for n := 2; n <= 5; n++ {
+		for _, c := range AbstractCycles(n) {
+			for i, turn := range c.Turns {
+				next := c.Turns[(i+1)%4]
+				if turn.To != next.From {
+					t.Errorf("n=%d cycle %v: turn %d does not chain", n, c, i)
+				}
+				if TurnDegree(turn) != Deg90 {
+					t.Errorf("cycle turn %v is not 90 degrees", turn)
+				}
+			}
+		}
+	}
+}
+
+func TestAbstractCycles2D(t *testing.T) {
+	// Figure 2: eight turns forming two cycles in the 2D mesh.
+	cycles := AbstractCycles(2)
+	if len(cycles) != 2 {
+		t.Fatalf("2D mesh has %d abstract cycles, want 2", len(cycles))
+	}
+	if !cycles[0].Clockwise || cycles[1].Clockwise {
+		t.Error("expected one clockwise and one counterclockwise cycle")
+	}
+	if len(AllTurns(2)) != 8 {
+		t.Errorf("2D mesh has %d turns, want 8", len(AllTurns(2)))
+	}
+}
+
+func TestNamedSets(t *testing.T) {
+	cases := []struct {
+		set        *Set
+		prohibited int
+	}{
+		{WestFirstSet(), 2},
+		{NorthLastSet(), 2},
+		{NegativeFirstSet(2), 2},
+		{DimensionOrderSet(2), 4},
+		{Figure4Set(), 2},
+		// Every phase-based partially adaptive set prohibits exactly
+		// n(n-1) turns, the Theorem 1 minimum.
+		{NegativeFirstSet(3), 6},
+		{AllButOneNegativeFirstSet(3, 2), 6},
+		{AllButOnePositiveLastSet(3, 0), 6},
+		{AllButOneNegativeFirstSet(4, 3), 12},
+		{AllButOnePositiveLastSet(4, 0), 12},
+		{DimensionOrderSet(3), 12},
+		{FullyAdaptiveSet(3), 0},
+	}
+	for _, c := range cases {
+		if got := len(c.set.Prohibited()); got != c.prohibited {
+			t.Errorf("%v prohibits %d turns, want %d", c.set, got, c.prohibited)
+		}
+		if got := c.set.NumAllowed(); got != NumTurns(c.set.Dims())-c.prohibited {
+			t.Errorf("%v allows %d turns, want %d", c.set, got, NumTurns(c.set.Dims())-c.prohibited)
+		}
+	}
+}
+
+func TestWestFirstSetTurns(t *testing.T) {
+	// Figure 5a: the two turns TO the west are prohibited.
+	s := WestFirstSet()
+	w := dirOf(0, false)
+	n, sDir := dirOf(1, true), dirOf(1, false)
+	for _, turn := range []Turn{{n, w}, {sDir, w}} {
+		if s.Allowed(turn) {
+			t.Errorf("west-first should prohibit %v", turn)
+		}
+	}
+	for _, turn := range []Turn{{w, n}, {w, sDir}, {dirOf(0, true), n}, {dirOf(0, true), sDir}, {n, dirOf(0, true)}, {sDir, dirOf(0, true)}} {
+		if !s.Allowed(turn) {
+			t.Errorf("west-first should allow %v", turn)
+		}
+	}
+}
+
+func TestNorthLastSetTurns(t *testing.T) {
+	// Figure 9a: the two turns when travelling north are prohibited.
+	s := NorthLastSet()
+	n := dirOf(1, true)
+	e, w := dirOf(0, true), dirOf(0, false)
+	for _, turn := range []Turn{{n, e}, {n, w}} {
+		if s.Allowed(turn) {
+			t.Errorf("north-last should prohibit %v", turn)
+		}
+	}
+	for _, turn := range []Turn{{e, n}, {w, n}} {
+		if !s.Allowed(turn) {
+			t.Errorf("north-last should allow %v", turn)
+		}
+	}
+}
+
+func TestNegativeFirstSetTurns(t *testing.T) {
+	// Figure 10a: the two turns from a positive direction to a negative
+	// direction are prohibited.
+	s := NegativeFirstSet(2)
+	e, w := dirOf(0, true), dirOf(0, false)
+	n, sd := dirOf(1, true), dirOf(1, false)
+	for _, turn := range []Turn{{e, sd}, {n, w}} {
+		if s.Allowed(turn) {
+			t.Errorf("negative-first should prohibit %v", turn)
+		}
+	}
+	for _, turn := range []Turn{{w, n}, {sd, e}, {w, sd}, {sd, w}, {e, n}, {n, e}} {
+		if !s.Allowed(turn) {
+			t.Errorf("negative-first should allow %v", turn)
+		}
+	}
+}
+
+func TestXYTurnSet(t *testing.T) {
+	// Figure 3: only four turns are allowed by the xy algorithm — those
+	// from the x dimension into the y dimension.
+	s := DimensionOrderSet(2)
+	if s.NumAllowed() != 4 {
+		t.Fatalf("xy allows %d turns, want 4", s.NumAllowed())
+	}
+	for _, turn := range AllTurns(2) {
+		want := turn.From.Dim == 0 && turn.To.Dim == 1
+		if s.Allowed(turn) != want {
+			t.Errorf("xy Allowed(%v) = %v, want %v", turn, s.Allowed(turn), want)
+		}
+	}
+}
+
+func TestBreaksAllAbstractCycles(t *testing.T) {
+	for _, s := range []*Set{WestFirstSet(), NorthLastSet(), NegativeFirstSet(2), DimensionOrderSet(2), Figure4Set(), NegativeFirstSet(4)} {
+		if ok, intact := s.BreaksAllAbstractCycles(); !ok {
+			t.Errorf("%v leaves cycles intact: %v", s, intact)
+		}
+	}
+	if ok, _ := FullyAdaptiveSet(2).BreaksAllAbstractCycles(); ok {
+		t.Error("the fully adaptive set cannot break any cycle")
+	}
+	// Prohibiting two turns from the SAME cycle leaves the other whole.
+	cyc := AbstractCycles(2)[0]
+	s := NewSet(2).Prohibit(cyc.Turns[0], cyc.Turns[1])
+	if ok, intact := s.BreaksAllAbstractCycles(); ok || len(intact) != 1 {
+		t.Errorf("same-cycle prohibition should leave one cycle intact, got ok=%v intact=%v", ok, intact)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(2)
+	e := dirOf(0, true)
+	n := dirOf(1, true)
+	turn := Turn{e, n}
+	if !s.Allowed(turn) {
+		t.Fatal("fresh set should allow all 90-degree turns")
+	}
+	s.Prohibit(turn)
+	if s.Allowed(turn) {
+		t.Fatal("prohibited turn still allowed")
+	}
+	s.Permit(turn)
+	if !s.Allowed(turn) {
+		t.Fatal("permitted turn still prohibited")
+	}
+	// 0-degree "turns" (continuing straight) are always allowed.
+	if !s.Allowed(Turn{e, e}) {
+		t.Error("0-degree turn should be allowed")
+	}
+	// 180-degree turns only after Allow180 (Step 6).
+	rev := Turn{e, dirOf(0, false)}
+	if s.Allowed(rev) {
+		t.Error("180-degree turn should start prohibited")
+	}
+	s.Allow180(rev)
+	if !s.Allowed(rev) {
+		t.Error("Allow180 did not take effect")
+	}
+}
+
+func TestSetClone(t *testing.T) {
+	s := WestFirstSet()
+	c := s.Clone()
+	turn := Turn{dirOf(0, true), dirOf(1, true)}
+	c.Prohibit(turn)
+	if !s.Allowed(turn) {
+		t.Error("mutating a clone changed the original")
+	}
+	if c.Name() != s.Name() {
+		t.Error("clone lost the name")
+	}
+}
+
+func TestSetPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"prohibit 180":     func() { NewSet(2).Prohibit(Turn{dirOf(0, true), dirOf(0, false)}) },
+		"prohibit 0":       func() { NewSet(2).Prohibit(Turn{dirOf(0, true), dirOf(0, true)}) },
+		"out of range":     func() { NewSet(2).Prohibit(Turn{dirOf(0, true), dirOf(5, true)}) },
+		"allow180 not 180": func() { NewSet(2).Allow180(Turn{dirOf(0, true), dirOf(1, true)}) },
+		"abonf bad dim":    func() { AllButOneNegativeFirstSet(2, 5) },
+		"abopl bad dim":    func() { AllButOnePositiveLastSet(2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOneTurnPerCyclePairs(t *testing.T) {
+	sets := OneTurnPerCyclePairs2D()
+	if len(sets) != 16 {
+		t.Fatalf("got %d pairs, want 16", len(sets))
+	}
+	cycles := AbstractCycles(2)
+	for _, s := range sets {
+		p := s.Prohibited()
+		if len(p) != 2 {
+			t.Fatalf("%v prohibits %d turns, want 2", s, len(p))
+		}
+		if ok, _ := s.BreaksAllAbstractCycles(); !ok {
+			t.Errorf("%v should break both abstract cycles", s)
+		}
+		// One prohibited turn from each cycle.
+		for _, c := range cycles {
+			found := 0
+			for _, turn := range c.Turns {
+				if !s.Allowed(turn) {
+					found++
+				}
+			}
+			if found != 1 {
+				t.Errorf("%v prohibits %d turns of %v, want 1", s, found, c)
+			}
+		}
+	}
+}
+
+func TestPhaseSetsProhibitPhase2ToPhase1Only(t *testing.T) {
+	// Property: for every n and every turn, negative-first prohibits
+	// exactly the positive-to-negative turns.
+	f := func(rawN uint8, rawFrom, rawTo uint8) bool {
+		n := 2 + int(rawN)%4
+		s := NegativeFirstSet(n)
+		from := topology.DirectionFromIndex(int(rawFrom) % (2 * n))
+		to := topology.DirectionFromIndex(int(rawTo) % (2 * n))
+		turn := Turn{from, to}
+		if TurnDegree(turn) != Deg90 {
+			return true
+		}
+		want := !(from.Pos && !to.Pos)
+		return s.Allowed(turn) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringOutputs(t *testing.T) {
+	if s := WestFirstSet().String(); s == "" {
+		t.Error("empty String for west-first set")
+	}
+	if s := AbstractCycles(2)[0].String(); s == "" {
+		t.Error("empty String for cycle")
+	}
+	if s := (Turn{dirOf(0, true), dirOf(1, true)}).String(); s != "east->north" {
+		t.Errorf("turn string = %q", s)
+	}
+}

@@ -1,0 +1,226 @@
+// Package deadlock analyzes routing algorithms for deadlock freedom
+// using channel dependency graphs, the Dally-Seitz framework the paper's
+// proofs (Theorems 2-5) build on.
+//
+// A channel dependency graph (CDG) has one vertex per network channel
+// and an edge c1 -> c2 whenever the routing relation can route some
+// packet that holds c1 into c2, so that c1 waits on c2 in wormhole
+// routing. The relation is deadlock free if and only if the CDG is
+// acyclic, equivalently if the channels can be numbered so every
+// transition is strictly monotone. The package provides both checks:
+// cycle detection with witness extraction, and verification of explicit
+// numbering schemes, including the ones used in the paper's proofs of
+// Theorems 2 and 5.
+package deadlock
+
+import (
+	"fmt"
+
+	"turnmodel/internal/core"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// Graph is a channel dependency graph over a topology's dense channel ID
+// space.
+type Graph struct {
+	topo *topology.Topology
+	// adj[c1] lists channel IDs c2 with an edge c1 -> c2, deduplicated.
+	adj [][]int32
+	// present marks channel IDs that exist in the topology.
+	present []bool
+	edges   int
+}
+
+// Topology returns the topology the graph was built over.
+func (g *Graph) Topology() *topology.Topology { return g.topo }
+
+// NumEdges returns the number of distinct dependency edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Edges calls fn for every dependency edge.
+func (g *Graph) Edges(fn func(from, to topology.Channel)) {
+	for c1, outs := range g.adj {
+		for _, c2 := range outs {
+			fn(g.topo.ChannelFromID(c1), g.topo.ChannelFromID(int(c2)))
+		}
+	}
+}
+
+func newGraph(t *topology.Topology) *Graph {
+	n := t.NumChannelIDs()
+	g := &Graph{topo: t, adj: make([][]int32, n), present: make([]bool, n)}
+	t.Channels(func(c topology.Channel) { g.present[t.ChannelID(c)] = true })
+	return g
+}
+
+// BuildCDG constructs the channel dependency graph of a routing
+// algorithm. For every destination it walks the set of channels a packet
+// bound for that destination can occupy (starting from injection at any
+// source) and records, for each occupied channel entering a node, the
+// output channels the relation permits next.
+func BuildCDG(alg routing.Algorithm) *Graph {
+	t := alg.Topology()
+	g := newGraph(t)
+	n := t.NumChannelIDs()
+	// Edge lists stay short (at most 2n per channel), so linear-scan
+	// deduplication is cheap and avoids per-pair bitmaps.
+	addEdge := func(c1, c2 int) {
+		for _, e := range g.adj[c1] {
+			if int(e) == c2 {
+				return
+			}
+		}
+		g.adj[c1] = append(g.adj[c1], int32(c2))
+		g.edges++
+	}
+
+	reachable := make([]bool, n)
+	queue := make([]int, 0, n)
+	var buf []topology.Direction
+	for dst := topology.NodeID(0); dst < topology.NodeID(t.Nodes()); dst++ {
+		for i := range reachable {
+			reachable[i] = false
+		}
+		queue = queue[:0]
+		// Seed: channels a packet to dst can take from injection at any
+		// source node.
+		for src := topology.NodeID(0); src < topology.NodeID(t.Nodes()); src++ {
+			if src == dst {
+				continue
+			}
+			buf = alg.Candidates(src, dst, routing.Injected, buf[:0])
+			for _, d := range buf {
+				ch := topology.Channel{From: src, Dir: d}
+				if !t.Enabled(ch) {
+					continue
+				}
+				id := t.ChannelID(ch)
+				if !reachable[id] {
+					reachable[id] = true
+					queue = append(queue, id)
+				}
+			}
+		}
+		// Propagate: from each reachable channel, the permitted next
+		// channels are both dependency edges and newly reachable.
+		for len(queue) > 0 {
+			id := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			c1 := t.ChannelFromID(id)
+			v := t.ChannelTo(c1)
+			if v == dst {
+				continue
+			}
+			buf = alg.Candidates(v, dst, routing.Arrived(c1.Dir), buf[:0])
+			for _, d := range buf {
+				ch := topology.Channel{From: v, Dir: d}
+				if !t.Enabled(ch) {
+					continue
+				}
+				id2 := t.ChannelID(ch)
+				addEdge(id, id2)
+				if !reachable[id2] {
+					reachable[id2] = true
+					queue = append(queue, id2)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// BuildTurnCDG constructs the channel dependency graph induced by a turn
+// set alone, with no routing function: an edge c1 -> c2 exists whenever
+// c2 leaves the node c1 enters and the turn from c1's direction to c2's
+// is allowed. This captures the full (nonminimal, destination-free)
+// relation of the turn model, the notion under which Figure 4's six-turn
+// set "allows deadlock" even though its minimal relation is
+// disconnected for some pairs.
+func BuildTurnCDG(t *topology.Topology, set *core.Set) *Graph {
+	if set.Dims() != t.NumDims() {
+		panic(fmt.Sprintf("deadlock: turn set has %d dims, topology has %d", set.Dims(), t.NumDims()))
+	}
+	g := newGraph(t)
+	t.Channels(func(c1 topology.Channel) {
+		if !t.Enabled(c1) {
+			return
+		}
+		v := t.ChannelTo(c1)
+		id1 := t.ChannelID(c1)
+		for i := 0; i < 2*t.NumDims(); i++ {
+			d := topology.DirectionFromIndex(i)
+			if !set.Allowed(core.Turn{From: c1.Dir, To: d}) {
+				continue
+			}
+			c2 := topology.Channel{From: v, Dir: d}
+			if !t.Enabled(c2) {
+				continue
+			}
+			g.adj[id1] = append(g.adj[id1], int32(t.ChannelID(c2)))
+			g.edges++
+		}
+	})
+	return g
+}
+
+// FindCycle returns a cycle in the graph as a sequence of channels
+// (each waiting on the next, the last waiting on the first), or nil if
+// the graph is acyclic. Acyclicity of the CDG is Dally and Seitz's
+// necessary and sufficient condition for deadlock freedom.
+func (g *Graph) FindCycle() []topology.Channel {
+	ids := findCycleIDs(g.adj, g.present)
+	if ids == nil {
+		return nil
+	}
+	out := make([]topology.Channel, len(ids))
+	for i, id := range ids {
+		out[i] = g.topo.ChannelFromID(id)
+	}
+	return out
+}
+
+// Acyclic reports whether the graph has no cycles.
+func (g *Graph) Acyclic() bool { return g.FindCycle() == nil }
+
+// Result summarizes a deadlock-freedom check.
+type Result struct {
+	// DeadlockFree is true when the channel dependency graph is acyclic.
+	DeadlockFree bool
+	// Cycle is a witness dependency cycle when DeadlockFree is false.
+	Cycle []topology.Channel
+	// Channels and Edges describe the analyzed graph.
+	Channels, Edges int
+}
+
+func (r Result) String() string {
+	if r.DeadlockFree {
+		return fmt.Sprintf("deadlock free (%d channels, %d dependency edges, acyclic)", r.Channels, r.Edges)
+	}
+	return fmt.Sprintf("NOT deadlock free: dependency cycle of length %d: %v", len(r.Cycle), r.Cycle)
+}
+
+// Check builds the CDG of alg and reports whether it is acyclic.
+func Check(alg routing.Algorithm) Result {
+	g := BuildCDG(alg)
+	cyc := g.FindCycle()
+	return Result{
+		DeadlockFree: cyc == nil,
+		Cycle:        cyc,
+		Channels:     alg.Topology().NumChannels(),
+		Edges:        g.NumEdges(),
+	}
+}
+
+// CheckTurnSet builds the destination-free turn CDG of set on t and
+// reports whether it is acyclic.
+func CheckTurnSet(t *topology.Topology, set *core.Set) Result {
+	g := BuildTurnCDG(t, set)
+	cyc := g.FindCycle()
+	return Result{
+		DeadlockFree: cyc == nil,
+		Cycle:        cyc,
+		Channels:     t.NumChannels(),
+		Edges:        g.NumEdges(),
+	}
+}

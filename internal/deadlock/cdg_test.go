@@ -1,0 +1,207 @@
+package deadlock
+
+import (
+	"testing"
+
+	"turnmodel/internal/core"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// TestTheoremAlgorithmsDeadlockFree: every turn-model algorithm of the
+// paper has an acyclic channel dependency graph (Theorems 2-5 and the
+// Section 4 claims), on meshes, non-square meshes, higher-dimensional
+// meshes, hypercubes and tori.
+func TestTheoremAlgorithmsDeadlockFree(t *testing.T) {
+	mesh2 := topology.NewMesh(6, 6)
+	mesh2r := topology.NewMesh(4, 7)
+	mesh3 := topology.NewMesh(3, 4, 5)
+	cube := topology.NewHypercube(6)
+	torus := topology.NewTorus(5, 2)
+
+	algs := []routing.Algorithm{
+		routing.NewDimensionOrder(mesh2),
+		routing.NewWestFirst(mesh2),
+		routing.NewNorthLast(mesh2),
+		routing.NewNegativeFirst(mesh2),
+		routing.NewWestFirst(mesh2r),
+		routing.NewNorthLast(mesh2r),
+		routing.NewDimensionOrder(mesh3),
+		routing.NewNegativeFirst(mesh3),
+		routing.NewABONF(mesh3, 2),
+		routing.NewABONF(mesh3, 0),
+		routing.NewABOPL(mesh3, 0),
+		routing.NewABOPL(mesh3, 1),
+		routing.NewDimensionOrder(cube),
+		routing.NewNegativeFirst(cube),
+		routing.NewPCube(cube),
+		routing.NewABONF(cube, 5),
+		routing.NewABOPL(cube, 0),
+		routing.NewNegativeFirstTorus(torus),
+		routing.NewWrapFirstHop(routing.NewNegativeFirst(torus)),
+		routing.NewWrapFirstHop(routing.NewABONF(torus, 1)),
+	}
+	for _, alg := range algs {
+		res := Check(alg)
+		if !res.DeadlockFree {
+			t.Errorf("%s on %v: %v", alg.Name(), alg.Topology(), res)
+		}
+	}
+}
+
+// TestFullyAdaptiveDeadlocks: without extra channels the fully adaptive
+// relation has a cyclic dependency graph on any mesh with a 2x2
+// sub-plane — the reason the turn model exists.
+func TestFullyAdaptiveDeadlocks(t *testing.T) {
+	for _, topo := range []*topology.Topology{
+		topology.NewMesh(2, 2),
+		topology.NewMesh(6, 6),
+		topology.NewHypercube(4),
+		topology.NewMesh(3, 3, 3),
+	} {
+		res := Check(routing.NewFullyAdaptive(topo))
+		if res.DeadlockFree {
+			t.Errorf("fully adaptive on %v should not be deadlock free", topo)
+		}
+		if len(res.Cycle) < 4 {
+			t.Errorf("witness cycle too short: %v", res.Cycle)
+		}
+	}
+}
+
+// TestWitnessCycleIsValid: a reported cycle must consist of channels
+// where each channel's head node is the next channel's source, closing
+// on itself, with each edge present in the graph.
+func TestWitnessCycleIsValid(t *testing.T) {
+	topo := topology.NewMesh(5, 5)
+	g := BuildCDG(routing.NewFullyAdaptive(topo))
+	cyc := g.FindCycle()
+	if cyc == nil {
+		t.Fatal("expected a cycle")
+	}
+	for i, c := range cyc {
+		next := cyc[(i+1)%len(cyc)]
+		if topo.ChannelTo(c) != next.From {
+			t.Fatalf("cycle not connected at %d: %v -> %v", i, c, next)
+		}
+		found := false
+		g.Edges(func(from, to topology.Channel) {
+			if from == c && to == next {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("cycle edge %v -> %v not in graph", c, next)
+		}
+	}
+}
+
+// TestTwelveOfSixteenTurnPairs reproduces the Section 3 claim: of the 16
+// ways to prohibit one turn from each abstract cycle, exactly 12 prevent
+// deadlock, and the four that fail are the reverse pairs illustrated by
+// Figure 4.
+func TestTwelveOfSixteenTurnPairs(t *testing.T) {
+	topo := topology.NewMesh(6, 6)
+	free := 0
+	for _, set := range core.OneTurnPerCyclePairs2D() {
+		res := CheckTurnSet(topo, set)
+		p := set.Prohibited()
+		isReverse := p[0].From == p[1].To && p[0].To == p[1].From
+		if res.DeadlockFree {
+			free++
+		}
+		if res.DeadlockFree == isReverse {
+			t.Errorf("%v: deadlockFree=%v but isReverse=%v", set, res.DeadlockFree, isReverse)
+		}
+	}
+	if free != 12 {
+		t.Errorf("%d of 16 deadlock free, want 12", free)
+	}
+}
+
+// TestFigure4SetDeadlocks: the Figure 4 set breaks both abstract cycles
+// yet its turn relation is cyclic.
+func TestFigure4SixTurnDeadlock(t *testing.T) {
+	set := core.Figure4Set()
+	if ok, _ := set.BreaksAllAbstractCycles(); !ok {
+		t.Fatal("Figure 4 set must prohibit one turn per abstract cycle")
+	}
+	res := CheckTurnSet(topology.NewMesh(4, 4), set)
+	if res.DeadlockFree {
+		t.Fatal("Figure 4 set must allow deadlock")
+	}
+}
+
+// TestNamedTurnSetsAcyclic: the turn relations (destination-free) of the
+// named algorithms are acyclic, a stronger statement than the routed
+// CDG check.
+func TestNamedTurnSetsAcyclic(t *testing.T) {
+	topo := topology.NewMesh(5, 5)
+	for _, set := range []*core.Set{
+		core.WestFirstSet(),
+		core.NorthLastSet(),
+		core.NegativeFirstSet(2),
+		core.DimensionOrderSet(2),
+	} {
+		if res := CheckTurnSet(topo, set); !res.DeadlockFree {
+			t.Errorf("%v: %v", set, res)
+		}
+	}
+	mesh3 := topology.NewMesh(3, 3, 3)
+	for _, set := range []*core.Set{
+		core.NegativeFirstSet(3),
+		core.AllButOneNegativeFirstSet(3, 2),
+		core.AllButOnePositiveLastSet(3, 0),
+		core.DimensionOrderSet(3),
+	} {
+		if res := CheckTurnSet(mesh3, set); !res.DeadlockFree {
+			t.Errorf("%v on 3D: %v", set, res)
+		}
+	}
+	if res := CheckTurnSet(topo, core.FullyAdaptiveSet(2)); res.DeadlockFree {
+		t.Error("the all-turns-allowed relation must be cyclic")
+	}
+}
+
+// TestCDGEdgesAreFeasible: every dependency edge of a routed CDG joins
+// channels that share an intermediate node.
+func TestCDGEdgesAreFeasible(t *testing.T) {
+	topo := topology.NewMesh(5, 5)
+	g := BuildCDG(routing.NewWestFirst(topo))
+	g.Edges(func(from, to topology.Channel) {
+		if topo.ChannelTo(from) != to.From {
+			t.Fatalf("edge %v -> %v does not share a node", from, to)
+		}
+	})
+	if g.NumEdges() == 0 {
+		t.Fatal("west-first CDG has no edges")
+	}
+}
+
+// TestCDGRespectsFaults: dependencies never involve disabled channels.
+func TestCDGRespectsFaults(t *testing.T) {
+	topo := topology.NewMesh(5, 5)
+	bad := topology.Channel{From: topo.ID(topology.Coord{2, 2}), Dir: topology.Direction{Dim: 0, Pos: true}}
+	topo.DisableChannel(bad)
+	defer topo.EnableChannel(bad)
+	alg := routing.NewTurnGraphRouting(topo, core.WestFirstSet(), true)
+	g := BuildCDG(alg)
+	g.Edges(func(from, to topology.Channel) {
+		if from == bad || to == bad {
+			t.Fatalf("dependency involves disabled channel: %v -> %v", from, to)
+		}
+	})
+}
+
+// TestXYHasNoYToXDependencies: the xy CDG must contain no edge from a y
+// channel to an x channel (Figure 3's prohibition, visible in the
+// dependency graph).
+func TestXYHasNoYToXDependencies(t *testing.T) {
+	topo := topology.NewMesh(6, 6)
+	g := BuildCDG(routing.NewDimensionOrder(topo))
+	g.Edges(func(from, to topology.Channel) {
+		if from.Dir.Dim == 1 && to.Dir.Dim == 0 {
+			t.Fatalf("xy dependency from y to x: %v -> %v", from, to)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package deadlock
+
+import (
+	"testing"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// TestWestFirstNumberingDecreases mechanizes the proof of Theorem 2: the
+// explicit channel numbering strictly decreases along every dependency
+// of the west-first relation, on square and non-square meshes.
+func TestWestFirstNumberingDecreases(t *testing.T) {
+	for _, dims := range [][2]int{{2, 2}, {4, 4}, {16, 16}, {3, 9}, {9, 3}} {
+		topo := topology.NewMesh(dims[0], dims[1])
+		g := BuildCDG(routing.NewWestFirst(topo))
+		if v := VerifyMonotone(g, WestFirstNumbering(topo), Decreasing); len(v) > 0 {
+			SortViolations(v)
+			t.Errorf("%v: %d violations, first: %v", topo, len(v), v[0])
+		}
+	}
+}
+
+// TestNorthLastNumberingIncreases mechanizes Theorem 3: "rotate Figures
+// 6 and 7 counterclockwise 90 degrees, and reverse the directions of the
+// channels" — the transformed west-first numbering strictly increases
+// along every north-last dependency.
+func TestNorthLastNumberingIncreases(t *testing.T) {
+	for _, dims := range [][2]int{{2, 2}, {4, 4}, {16, 16}, {3, 9}, {9, 3}} {
+		topo := topology.NewMesh(dims[0], dims[1])
+		g := BuildCDG(routing.NewNorthLast(topo))
+		if v := VerifyMonotone(g, NorthLastNumbering(topo), Increasing); len(v) > 0 {
+			SortViolations(v)
+			t.Errorf("%v: %d violations, first: %v", topo, len(v), v[0])
+		}
+	}
+}
+
+// TestNegativeFirstNumberingIncreases mechanizes the proof of Theorem 5:
+// positive channels numbered K-n+X and negative channels K-n-X strictly
+// increase along every negative-first dependency, in any dimension.
+func TestNegativeFirstNumberingIncreases(t *testing.T) {
+	tops := []*topology.Topology{
+		topology.NewMesh(4, 4),
+		topology.NewMesh(16, 16),
+		topology.NewMesh(3, 4, 5),
+		topology.NewMesh(2, 3, 2, 3),
+		topology.NewHypercube(7),
+	}
+	for _, topo := range tops {
+		g := BuildCDG(routing.NewNegativeFirst(topo))
+		if v := VerifyMonotone(g, NegativeFirstNumbering(topo), Increasing); len(v) > 0 {
+			SortViolations(v)
+			t.Errorf("%v: %d violations, first: %v", topo, len(v), v[0])
+		}
+	}
+}
+
+// TestNumberingFromCDG: a topological numbering derived from any acyclic
+// CDG certifies deadlock freedom (the Section 2 argument that breaking
+// all cycles admits a strictly decreasing numbering).
+func TestNumberingFromCDG(t *testing.T) {
+	topo := topology.NewMesh(6, 6)
+	for _, alg := range []routing.Algorithm{
+		routing.NewDimensionOrder(topo),
+		routing.NewWestFirst(topo),
+		routing.NewNorthLast(topo),
+		routing.NewNegativeFirst(topo),
+	} {
+		g := BuildCDG(alg)
+		num := NumberingFromCDG(g)
+		if v := VerifyMonotone(g, num, Decreasing); len(v) > 0 {
+			t.Errorf("%s: topological numbering violated %d times", alg.Name(), len(v))
+		}
+	}
+}
+
+// TestNumberingFromCDGPanicsOnCycle: a cyclic graph has no numbering.
+func TestNumberingFromCDGPanicsOnCycle(t *testing.T) {
+	g := BuildCDG(routing.NewFullyAdaptive(topology.NewMesh(3, 3)))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for cyclic graph")
+		}
+	}()
+	NumberingFromCDG(g)
+}
+
+// TestVerifyMonotoneDetectsViolations: a constant numbering violates
+// every edge under either order.
+func TestVerifyMonotoneDetectsViolations(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	g := BuildCDG(routing.NewDimensionOrder(topo))
+	constant := func(topology.Channel) int { return 7 }
+	if v := VerifyMonotone(g, constant, Decreasing); len(v) != g.NumEdges() {
+		t.Errorf("constant numbering: %d violations, want %d", len(v), g.NumEdges())
+	}
+	if v := VerifyMonotone(g, constant, Increasing); len(v) != g.NumEdges() {
+		t.Errorf("constant numbering increasing: %d violations, want %d", len(v), g.NumEdges())
+	}
+}
+
+// TestNumberingPanics on wrong topologies.
+func TestNumberingPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"wf 3D":    func() { WestFirstNumbering(topology.NewMesh(3, 3, 3)) },
+		"wf torus": func() { WestFirstNumbering(topology.NewTorus(4, 2)) },
+		"nl 3D":    func() { NorthLastNumbering(topology.NewMesh(3, 3, 3)) },
+		"nf torus": func() { NegativeFirstNumbering(topology.NewTorus(4, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,146 @@
+package deadlock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"turnmodel/internal/core"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// randomSet builds a 2D turn set with a random subset of turns
+// prohibited.
+func randomSet(rng *rand.Rand, maxProhibit int) *core.Set {
+	s := core.NewSet(2).WithName("random")
+	turns := core.AllTurns(2)
+	rng.Shuffle(len(turns), func(i, j int) { turns[i], turns[j] = turns[j], turns[i] })
+	n := rng.Intn(maxProhibit + 1)
+	for _, t := range turns[:n] {
+		s.Prohibit(t)
+	}
+	return s
+}
+
+// TestPropertyAcyclicTurnSetsAdmitNumbering: for random turn sets, the
+// destination-free relation is acyclic exactly when a topological
+// numbering exists — and then the minimal routed relation is also
+// acyclic (it is a sub-relation).
+func TestPropertyAcyclicTurnSetsAdmitNumbering(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	rng := rand.New(rand.NewSource(99))
+	f := func() bool {
+		set := randomSet(rng, 5)
+		g := BuildTurnCDG(topo, set)
+		if g.Acyclic() {
+			// Numbering exists and certifies it.
+			num := NumberingFromCDG(g)
+			if len(VerifyMonotone(g, num, Decreasing)) != 0 {
+				return false
+			}
+			// The minimal routed relation is a sub-relation of the turn
+			// relation, so it must be acyclic too.
+			alg := routing.NewTurnGraphRouting(topo, set, true)
+			return BuildCDG(alg).Acyclic()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRoutedCDGSubsetOfTurnCDG: every dependency the routed
+// (minimal) relation realizes is permitted by the raw turn relation.
+func TestPropertyRoutedCDGSubsetOfTurnCDG(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	rng := rand.New(rand.NewSource(100))
+	f := func() bool {
+		set := randomSet(rng, 4)
+		turnEdges := map[[2]topology.Channel]bool{}
+		BuildTurnCDG(topo, set).Edges(func(from, to topology.Channel) {
+			turnEdges[[2]topology.Channel{from, to}] = true
+		})
+		ok := true
+		BuildCDG(routing.NewTurnGraphRouting(topo, set, true)).Edges(func(from, to topology.Channel) {
+			if !turnEdges[[2]topology.Channel{from, to}] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFaultsOnlyShrinkCDG: disabling channels never adds
+// dependencies, so deadlock freedom survives any fault set (the
+// monotonicity behind the fault-tolerance story).
+func TestPropertyFaultsOnlyShrinkCDG(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	f := func() bool {
+		topo := topology.NewMesh(5, 5)
+		alg := routing.NewTurnGraphRouting(topo, core.WestFirstSet(), false)
+		base := BuildCDG(alg).NumEdges()
+		// Disable up to three random existing channels.
+		var all []topology.Channel
+		topo.Channels(func(c topology.Channel) { all = append(all, c) })
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			topo.DisableChannel(all[rng.Intn(len(all))])
+		}
+		g := BuildCDG(alg)
+		return g.Acyclic() && g.NumEdges() <= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyWalksFollowCDG: every transition taken by a random minimal
+// walk appears as a dependency edge of the algorithm's CDG.
+func TestPropertyWalksFollowCDG(t *testing.T) {
+	topo := topology.NewMesh(5, 5)
+	alg := routing.NewNegativeFirst(topo)
+	edges := map[[2]topology.Channel]bool{}
+	BuildCDG(alg).Edges(func(from, to topology.Channel) {
+		edges[[2]topology.Channel{from, to}] = true
+	})
+	rng := rand.New(rand.NewSource(102))
+	sel := func(_, _ topology.NodeID, cands []topology.Direction) topology.Direction {
+		return cands[rng.Intn(len(cands))]
+	}
+	f := func(a, b uint8) bool {
+		src := topology.NodeID(int(a) % topo.Nodes())
+		dst := topology.NodeID(int(b) % topo.Nodes())
+		if src == dst {
+			return true
+		}
+		path, err := routing.Walk(alg, src, dst, sel)
+		if err != nil {
+			return false
+		}
+		for i := 0; i+2 < len(path); i++ {
+			c1 := channelBetween(topo, path[i], path[i+1])
+			c2 := channelBetween(topo, path[i+1], path[i+2])
+			if !edges[[2]topology.Channel{c1, c2}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func channelBetween(t *topology.Topology, a, b topology.NodeID) topology.Channel {
+	for i := 0; i < 2*t.NumDims(); i++ {
+		d := topology.DirectionFromIndex(i)
+		if next, ok := t.Neighbor(a, d); ok && next == b {
+			return topology.Channel{From: a, Dir: d}
+		}
+	}
+	panic("not neighbors")
+}

@@ -1,0 +1,219 @@
+package deadlock
+
+import (
+	"fmt"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// Virtual-channel dependency analysis: Step 1 of the turn model treats
+// the v channels of a physical direction as v distinct virtual
+// directions, and deadlock freedom is then a property of the VIRTUAL
+// channel dependency graph — one vertex per (physical channel, virtual
+// channel) pair. This is how the Dally-Seitz dateline scheme proves
+// minimal torus routing deadlock free even though the physical channels
+// of each ring form a cycle.
+
+// VChannel names one virtual channel.
+type VChannel struct {
+	Ch topology.Channel
+	VC int
+}
+
+func (v VChannel) String() string { return fmt.Sprintf("%v/vc%d", v.Ch, v.VC) }
+
+// VCGraph is a dependency graph over virtual channels.
+type VCGraph struct {
+	topo    *topology.Topology
+	vcs     int
+	adj     [][]int32
+	present []bool
+	edges   int
+}
+
+// NumEdges returns the number of dependency edges.
+func (g *VCGraph) NumEdges() int { return g.edges }
+
+func (g *VCGraph) id(c topology.Channel, vc int) int {
+	return g.topo.ChannelID(c)*g.vcs + vc
+}
+
+func (g *VCGraph) vchannel(id int) VChannel {
+	return VChannel{Ch: g.topo.ChannelFromID(id / g.vcs), VC: id % g.vcs}
+}
+
+// BuildVCCDG constructs the virtual channel dependency graph of a
+// VC-aware routing relation, by the same feasible-state propagation as
+// BuildCDG.
+func BuildVCCDG(alg routing.VCAlgorithm) *VCGraph {
+	t := alg.Topology()
+	v := alg.NumVCs()
+	n := t.NumChannelIDs() * v
+	g := &VCGraph{topo: t, vcs: v, adj: make([][]int32, n), present: make([]bool, n)}
+	t.Channels(func(c topology.Channel) {
+		for vc := 0; vc < v; vc++ {
+			g.present[g.id(c, vc)] = true
+		}
+	})
+	addEdge := func(c1, c2 int) {
+		for _, e := range g.adj[c1] {
+			if int(e) == c2 {
+				return
+			}
+		}
+		g.adj[c1] = append(g.adj[c1], int32(c2))
+		g.edges++
+	}
+	reachable := make([]bool, n)
+	queue := make([]int, 0, n)
+	var buf []routing.VirtualDirection
+	for dst := topology.NodeID(0); dst < topology.NodeID(t.Nodes()); dst++ {
+		for i := range reachable {
+			reachable[i] = false
+		}
+		queue = queue[:0]
+		for src := topology.NodeID(0); src < topology.NodeID(t.Nodes()); src++ {
+			if src == dst {
+				continue
+			}
+			buf = alg.CandidatesVC(src, dst, routing.VCInjected, buf[:0])
+			for _, vd := range buf {
+				ch := topology.Channel{From: src, Dir: vd.Dir}
+				if !t.Enabled(ch) {
+					continue
+				}
+				id := g.id(ch, vd.VC)
+				if !reachable[id] {
+					reachable[id] = true
+					queue = append(queue, id)
+				}
+			}
+		}
+		for len(queue) > 0 {
+			id := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			vch := g.vchannel(id)
+			node := t.ChannelTo(vch.Ch)
+			if node == dst {
+				continue
+			}
+			in := routing.VCInPort{Dir: vch.Ch.Dir, VC: vch.VC}
+			buf = alg.CandidatesVC(node, dst, in, buf[:0])
+			for _, vd := range buf {
+				ch := topology.Channel{From: node, Dir: vd.Dir}
+				if !t.Enabled(ch) {
+					continue
+				}
+				id2 := g.id(ch, vd.VC)
+				addEdge(id, id2)
+				if !reachable[id2] {
+					reachable[id2] = true
+					queue = append(queue, id2)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// FindCycle returns a dependency cycle over virtual channels, or nil.
+func (g *VCGraph) FindCycle() []VChannel {
+	ids := findCycleIDs(g.adj, g.present)
+	if ids == nil {
+		return nil
+	}
+	out := make([]VChannel, len(ids))
+	for i, id := range ids {
+		out[i] = g.vchannel(id)
+	}
+	return out
+}
+
+// Acyclic reports whether the graph has no cycles.
+func (g *VCGraph) Acyclic() bool { return g.FindCycle() == nil }
+
+// VCResult summarizes a virtual-channel deadlock check.
+type VCResult struct {
+	DeadlockFree    bool
+	Cycle           []VChannel
+	VirtualChannels int
+	Edges           int
+}
+
+func (r VCResult) String() string {
+	if r.DeadlockFree {
+		return fmt.Sprintf("deadlock free (%d virtual channels, %d dependency edges, acyclic)", r.VirtualChannels, r.Edges)
+	}
+	return fmt.Sprintf("NOT deadlock free: virtual-channel dependency cycle of length %d: %v", len(r.Cycle), r.Cycle)
+}
+
+// CheckVC builds the virtual channel dependency graph of alg and
+// reports whether it is acyclic.
+func CheckVC(alg routing.VCAlgorithm) VCResult {
+	g := BuildVCCDG(alg)
+	cyc := g.FindCycle()
+	return VCResult{
+		DeadlockFree:    cyc == nil,
+		Cycle:           cyc,
+		VirtualChannels: alg.Topology().NumChannels() * alg.NumVCs(),
+		Edges:           g.NumEdges(),
+	}
+}
+
+// findCycleIDs is the iterative white/gray/black DFS shared by Graph and
+// VCGraph; it returns vertex IDs along a cycle in waiting order, or nil.
+func findCycleIDs(adj [][]int32, present []bool) []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	n := len(adj)
+	color := make([]int8, n)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	type frame struct {
+		node int
+		edge int
+	}
+	var stack []frame
+	for start := 0; start < n; start++ {
+		if color[start] != white || !present[start] {
+			continue
+		}
+		color[start] = gray
+		stack = append(stack[:0], frame{node: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.edge < len(adj[f.node]) {
+				next := int(adj[f.node][f.edge])
+				f.edge++
+				switch color[next] {
+				case white:
+					color[next] = gray
+					parent[next] = int32(f.node)
+					stack = append(stack, frame{node: next})
+				case gray:
+					var cyc []int
+					for v := f.node; ; v = int(parent[v]) {
+						cyc = append(cyc, v)
+						if v == next {
+							break
+						}
+					}
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}

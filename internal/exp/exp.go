@@ -1,0 +1,421 @@
+// Package exp defines the reproduction experiments: one entry per figure
+// and table of the paper, each regenerating the corresponding rows or
+// series. The cmd/experiments binary and the repository benchmarks are
+// thin wrappers over this package.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/sim"
+	"turnmodel/internal/stats"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+// Options tune experiment fidelity.
+type Options struct {
+	// Quick trades fidelity for speed: shorter simulations and coarser
+	// load sweeps. Used by tests and benchmarks.
+	Quick bool
+	// Seed makes the stochastic experiments reproducible.
+	Seed int64
+	// Loads overrides the sweep's offered loads (flits/us/node).
+	Loads []float64
+	// Warmup and Measure override the simulation window in cycles.
+	Warmup, Measure int64
+}
+
+func (o Options) warmup() int64 {
+	if o.Warmup > 0 {
+		return o.Warmup
+	}
+	if o.Quick {
+		return 2000
+	}
+	return 10000
+}
+
+func (o Options) measure() int64 {
+	if o.Measure > 0 {
+		return o.Measure
+	}
+	if o.Quick {
+		return 8000
+	}
+	return 40000
+}
+
+func (o Options) loads(full []float64) []float64 {
+	if len(o.Loads) > 0 {
+		return o.Loads
+	}
+	if !o.Quick {
+		return full
+	}
+	// Quick mode: every third point plus the last.
+	var q []float64
+	for i := 0; i < len(full); i += 3 {
+		q = append(q, full[i])
+	}
+	if q[len(q)-1] != full[len(full)-1] {
+		q = append(q, full[len(full)-1])
+	}
+	return q
+}
+
+// Experiment reproduces one figure or table.
+type Experiment struct {
+	// ID is the index key, e.g. "fig14" or "pcube10".
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run writes the regenerated rows/series to w.
+	Run func(o Options, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// paperOrder fixes the presentation order: the paper's artifacts first,
+// section by section, then the extensions. Experiments not listed sort
+// after, in registration order.
+var paperOrder = []string{
+	"intro",
+	"fig1", "fig2", "fig3", "fig4",
+	"fig5", "thm2", "fig9", "thm3", "fig10",
+	"thm1", "thm5", "turnpairs", "adapt",
+	"torus", "pcube10",
+	"pathlen", "fig13", "fig14", "fig15", "fig16", "fig13c", "claims",
+	"analytic", "hotspot", "faults", "fully", "tornado", "mesh3d", "mesh3dc", "hex", "sens14",
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	rank := make(map[string]int, len(paperOrder))
+	for i, id := range paperOrder {
+		rank[id] = i
+	}
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, iok := rank[out[i].ID]
+		rj, jok := rank[out[j].ID]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return false
+		}
+	})
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// SweepPoint is one offered-load measurement of a latency/throughput
+// curve.
+type SweepPoint struct {
+	Offered float64
+	Result  sim.Result
+}
+
+// Sweep is one algorithm's curve in a figure.
+type Sweep struct {
+	Algorithm string
+	Points    []SweepPoint
+}
+
+// MaxSustainable returns the highest measured throughput among
+// sustainable points, the paper's "maximum sustainable throughput", and
+// the offered load it occurred at. It returns zeros when no point is
+// sustainable.
+func (s Sweep) MaxSustainable() (thr, load float64) {
+	for _, p := range s.Points {
+		if p.Result.Sustainable && p.Result.Throughput > thr {
+			thr, load = p.Result.Throughput, p.Offered
+		}
+	}
+	return thr, load
+}
+
+// RunSweep measures one latency-throughput curve. The load points are
+// independent simulations and run in parallel, bounded by GOMAXPROCS;
+// results are deterministic regardless (each point has its own seeded
+// generator).
+func RunSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Options) (Sweep, error) {
+	s := Sweep{Algorithm: alg.Name(), Points: make([]SweepPoint, len(loads))}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i, load := range loads {
+		wg.Add(1)
+		go func(i int, load float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := sim.Run(sim.Config{
+				Algorithm:     alg,
+				Pattern:       pat,
+				OfferedLoad:   load,
+				WarmupCycles:  o.warmup(),
+				MeasureCycles: o.measure(),
+				Seed:          o.Seed + int64(load*1000),
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			s.Points[i] = SweepPoint{Offered: load, Result: r}
+		}(i, load)
+	}
+	wg.Wait()
+	return s, firstErr
+}
+
+// FigureSpec describes one simulation figure: a topology, traffic
+// pattern, algorithm set and load range.
+type FigureSpec struct {
+	ID, Title string
+	Topology  func() *topology.Topology
+	Pattern   func(*topology.Topology) traffic.Pattern
+	Algs      func(*topology.Topology) []routing.Algorithm
+	Loads     []float64
+}
+
+// meshLoads and cubeLoads are the full sweep ranges, in flits/us/node,
+// bracketing every algorithm's saturation point.
+var meshLoads = []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0}
+var cubeLoads = []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0}
+
+func meshAlgs(t *topology.Topology) []routing.Algorithm {
+	return []routing.Algorithm{
+		routing.NewDimensionOrder(t),
+		routing.NewWestFirst(t),
+		routing.NewNorthLast(t),
+		routing.NewNegativeFirst(t),
+	}
+}
+
+func cubeAlgs(t *topology.Topology) []routing.Algorithm {
+	return []routing.Algorithm{
+		routing.NewDimensionOrder(t),       // e-cube
+		routing.NewABONF(t, t.NumDims()-1), // all-but-one-negative-first
+		routing.NewABOPL(t, 0),             // all-but-one-positive-last
+		routing.NewNegativeFirst(t),        // p-cube
+	}
+}
+
+// Figures lists the four simulation figures of Section 6 plus the
+// hypercube uniform-traffic companion the section's text discusses.
+var Figures = []FigureSpec{
+	{
+		ID: "fig13", Title: "Figure 13: uniform traffic in a 16x16 mesh",
+		Topology: func() *topology.Topology { return topology.NewMesh(16, 16) },
+		Pattern:  func(t *topology.Topology) traffic.Pattern { return traffic.NewUniform(t) },
+		Algs:     meshAlgs, Loads: meshLoads,
+	},
+	{
+		ID: "fig14", Title: "Figure 14: matrix-transpose traffic in a 16x16 mesh",
+		Topology: func() *topology.Topology { return topology.NewMesh(16, 16) },
+		Pattern:  func(t *topology.Topology) traffic.Pattern { return traffic.NewMeshTranspose(t) },
+		Algs:     meshAlgs, Loads: meshLoads,
+	},
+	{
+		ID: "fig15", Title: "Figure 15: matrix-transpose traffic in an 8-cube",
+		Topology: func() *topology.Topology { return topology.NewHypercube(8) },
+		Pattern:  func(t *topology.Topology) traffic.Pattern { return traffic.NewHypercubeTranspose(t) },
+		Algs:     cubeAlgs, Loads: cubeLoads,
+	},
+	{
+		ID: "fig16", Title: "Figure 16: reverse-flip traffic in an 8-cube",
+		Topology: func() *topology.Topology { return topology.NewHypercube(8) },
+		Pattern:  func(t *topology.Topology) traffic.Pattern { return traffic.NewReverseFlip(t) },
+		Algs:     cubeAlgs, Loads: cubeLoads,
+	},
+	{
+		ID: "fig13c", Title: "Section 6 (text): uniform traffic in an 8-cube",
+		Topology: func() *topology.Topology { return topology.NewHypercube(8) },
+		Pattern:  func(t *topology.Topology) traffic.Pattern { return traffic.NewUniform(t) },
+		Algs:     cubeAlgs, Loads: cubeLoads,
+	},
+	{
+		ID: "mesh3d", Title: "Extension ([19]'s study): uniform traffic in an 8x8x4 mesh",
+		Topology: func() *topology.Topology { return topology.NewMesh(8, 8, 4) },
+		Pattern:  func(t *topology.Topology) traffic.Pattern { return traffic.NewUniform(t) },
+		Algs:     mesh3dAlgs, Loads: mesh3dLoads,
+	},
+	{
+		ID: "mesh3dc", Title: "Extension ([19]'s study): bit-complement traffic in an 8x8x4 mesh",
+		Topology: func() *topology.Topology { return topology.NewMesh(8, 8, 4) },
+		Pattern:  func(t *topology.Topology) traffic.Pattern { return traffic.NewBitComplement(t) },
+		Algs:     mesh3dAlgs, Loads: mesh3dLoads,
+	},
+}
+
+// mesh3dLoads spans the 3D mesh's saturation range.
+var mesh3dLoads = []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0}
+
+func mesh3dAlgs(t *topology.Topology) []routing.Algorithm {
+	return []routing.Algorithm{
+		routing.NewDimensionOrder(t),
+		routing.NewNegativeFirst(t),
+		routing.NewABONF(t, t.NumDims()-1),
+		routing.NewABOPL(t, 0),
+	}
+}
+
+// FigureByID finds a simulation figure spec.
+func FigureByID(id string) (FigureSpec, bool) {
+	for _, f := range Figures {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return FigureSpec{}, false
+}
+
+// figure sweep results are cached per (figure, seed, quick) within a
+// process, so the claims experiment can reuse the figure runs.
+var (
+	sweepMu    sync.Mutex
+	sweepCache = map[string][]Sweep{}
+)
+
+// RunFigure runs (or returns cached) sweeps for a figure spec.
+func RunFigure(f FigureSpec, o Options) ([]Sweep, error) {
+	key := fmt.Sprintf("%s/%d/%v/%v/%d/%d", f.ID, o.Seed, o.Quick, o.Loads, o.Warmup, o.Measure)
+	sweepMu.Lock()
+	if s, ok := sweepCache[key]; ok {
+		sweepMu.Unlock()
+		return s, nil
+	}
+	sweepMu.Unlock()
+
+	t := f.Topology()
+	pat := f.Pattern(t)
+	loads := o.loads(f.Loads)
+	var sweeps []Sweep
+	for _, alg := range f.Algs(t) {
+		s, err := RunSweep(alg, pat, loads, o)
+		if err != nil {
+			return nil, err
+		}
+		sweeps = append(sweeps, s)
+	}
+	sweepMu.Lock()
+	sweepCache[key] = sweeps
+	sweepMu.Unlock()
+	return sweeps, nil
+}
+
+// WriteFigure renders a figure's series in the paper's axes: average
+// latency (us) against measured throughput (flits/us), one series per
+// algorithm, followed by the maximum sustainable throughput summary.
+func WriteFigure(w io.Writer, f FigureSpec, sweeps []Sweep) {
+	fmt.Fprintf(w, "%s\n", f.Title)
+	fmt.Fprintf(w, "(series: measured throughput in flits/us vs average latency in us;\n")
+	fmt.Fprintf(w, " S marks points sustainable under the bounded-source-queue criterion)\n\n")
+	for _, s := range sweeps {
+		fmt.Fprintf(w, "  %s:\n", s.Algorithm)
+		tbl := stats.NewTable("offered(flits/us/node)", "throughput(flits/us)", "latency(us)", "net-latency(us)", "hops", "sustainable")
+		for _, p := range s.Points {
+			sus := "S"
+			if !p.Result.Sustainable {
+				sus = "-"
+			}
+			tbl.AddRow(p.Offered, p.Result.Throughput, p.Result.AvgLatency, p.Result.AvgNetLatency, p.Result.AvgHops, sus)
+		}
+		for _, line := range splitLines(tbl.String()) {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
+	}
+	// The paper's figure form: latency (y) against measured throughput
+	// (x), one marker per algorithm.
+	plot := stats.NewPlot("throughput (flits/us)", "avg latency (us)")
+	for _, s := range sweeps {
+		var xs, ys []float64
+		for _, pt := range s.Points {
+			if pt.Result.PacketsDelivered == 0 {
+				continue
+			}
+			xs = append(xs, pt.Result.Throughput)
+			ys = append(ys, pt.Result.AvgLatency)
+		}
+		plot.Add(s.Algorithm, xs, ys, 0)
+	}
+	for _, line := range splitLines(plot.String()) {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	fmt.Fprintf(w, "  maximum sustainable throughput:\n")
+	type maxRow struct {
+		alg  string
+		thr  float64
+		load float64
+	}
+	var rows []maxRow
+	for _, s := range sweeps {
+		thr, load := s.MaxSustainable()
+		rows = append(rows, maxRow{s.Algorithm, thr, load})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].thr > rows[j].thr })
+	tbl := stats.NewTable("algorithm", "max sustainable (flits/us)", "at offered load")
+	for _, r := range rows {
+		tbl.AddRow(r.alg, r.thr, r.load)
+	}
+	for _, line := range splitLines(tbl.String()) {
+		fmt.Fprintf(w, "    %s\n", line)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func init() {
+	for i := range Figures {
+		f := Figures[i]
+		register(Experiment{
+			ID:    f.ID,
+			Title: f.Title,
+			Run: func(o Options, w io.Writer) error {
+				sweeps, err := RunFigure(f, o)
+				if err != nil {
+					return err
+				}
+				WriteFigure(w, f, sweeps)
+				return nil
+			},
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+
+	"turnmodel/internal/sim"
+)
+
+// FigureJSON is the machine-readable form of a regenerated figure, for
+// downstream plotting.
+type FigureJSON struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	Series []SeriesJSON `json:"series"`
+}
+
+// SeriesJSON is one algorithm's curve.
+type SeriesJSON struct {
+	Algorithm string      `json:"algorithm"`
+	Points    []PointJSON `json:"points"`
+	// MaxSustainableThroughput is the paper's summary statistic, in
+	// flits/us.
+	MaxSustainableThroughput float64 `json:"max_sustainable_throughput"`
+}
+
+// PointJSON is one load point.
+type PointJSON struct {
+	OfferedLoad   float64 `json:"offered_load_flits_per_us_per_node"`
+	Throughput    float64 `json:"throughput_flits_per_us"`
+	AvgLatencyUs  float64 `json:"avg_latency_us"`
+	NetLatencyUs  float64 `json:"net_latency_us"`
+	P99LatencyUs  float64 `json:"p99_latency_us"`
+	AvgHops       float64 `json:"avg_hops"`
+	Sustainable   bool    `json:"sustainable"`
+	BacklogGrowth int64   `json:"backlog_growth_flits"`
+}
+
+// ToJSON converts a figure's sweeps to the JSON form.
+func ToJSON(f FigureSpec, sweeps []Sweep) FigureJSON {
+	out := FigureJSON{ID: f.ID, Title: f.Title}
+	for _, s := range sweeps {
+		sj := SeriesJSON{Algorithm: s.Algorithm}
+		sj.MaxSustainableThroughput, _ = s.MaxSustainable()
+		for _, p := range s.Points {
+			sj.Points = append(sj.Points, pointJSON(p.Offered, p.Result))
+		}
+		out.Series = append(out.Series, sj)
+	}
+	return out
+}
+
+func pointJSON(offered float64, r sim.Result) PointJSON {
+	return PointJSON{
+		OfferedLoad:   offered,
+		Throughput:    r.Throughput,
+		AvgLatencyUs:  r.AvgLatency,
+		NetLatencyUs:  r.AvgNetLatency,
+		P99LatencyUs:  r.LatencyP99,
+		AvgHops:       r.AvgHops,
+		Sustainable:   r.Sustainable,
+		BacklogGrowth: r.BacklogGrowth,
+	}
+}
+
+// WriteFigureJSON writes a figure's series as indented JSON.
+func WriteFigureJSON(w io.Writer, f FigureSpec, sweeps []Sweep) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSON(f, sweeps))
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/sim"
+	"turnmodel/internal/stats"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "sens14",
+		Title: "Sensitivity: the Figure 14 adaptive advantage under different output selection policies",
+		Run:   runSens14,
+	})
+}
+
+// runSens14 probes the one magnitude deviation recorded in
+// EXPERIMENTS.md: our measured mesh-transpose best-PA/xy ratio is about
+// 1.6x against the paper's "twice". The likeliest unspecified knob is
+// router behaviour around output selection, so this experiment bisects
+// the exact sustainable edge of xy and negative-first under each output
+// selection policy. xy has a single candidate everywhere, so its edge is
+// policy-invariant; negative-first's edge moves with how eagerly the
+// policy exploits its choices.
+func runSens14(o Options, w io.Writer) error {
+	topo := topology.NewMesh(16, 16)
+	pat := traffic.NewMeshTranspose(topo)
+	pols := []sim.OutputPolicy{sim.LowestDimension, sim.HighestDimension, sim.RandomPolicy}
+	tbl := stats.NewTable("output policy", "xy edge (flits/us)", "negative-first edge (flits/us)", "ratio")
+	for _, pol := range pols {
+		edge := func(alg routing.Algorithm) (float64, error) {
+			// A policy-aware bisection (FindSaturation hard-codes the
+			// default policy, so inline the probe here).
+			lo, hi := 0.25, 4.0
+			var best float64
+			for i := 0; i < 7; i++ {
+				mid := (lo + hi) / 2
+				r, err := sim.Run(sim.Config{
+					Algorithm: alg, Pattern: pat, OfferedLoad: mid,
+					WarmupCycles: o.warmup(), MeasureCycles: o.measure(),
+					Seed: o.Seed + int64(mid*10000), Policy: pol,
+				})
+				if err != nil {
+					return 0, err
+				}
+				if r.Sustainable {
+					lo = mid
+					if r.Throughput > best {
+						best = r.Throughput
+					}
+				} else {
+					hi = mid
+				}
+			}
+			return best, nil
+		}
+		xy, err := edge(routing.NewDimensionOrder(topo))
+		if err != nil {
+			return err
+		}
+		nf, err := edge(routing.NewNegativeFirst(topo))
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(pol.String(), xy, nf, fmt.Sprintf("%.2fx", nf/xy))
+	}
+	fmt.Fprintf(w, "16x16 mesh, matrix transpose, bisected sustainable edges:\n%s", tbl)
+	fmt.Fprintf(w, "\npaper reference: the partially adaptive maximum sustainable throughput is\n\"twice that of the nonadaptive algorithms\" (Section 6)\n")
+	return nil
+}

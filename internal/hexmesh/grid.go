@@ -1,0 +1,387 @@
+package hexmesh
+
+import (
+	"fmt"
+)
+
+// Mesh is a parallelogram-shaped region of the triangular lattice in
+// axial coordinates: nodes (q, r) with 0 <= q < Q and 0 <= r < R, each
+// connected to its in-region neighbors along the six directions by a
+// pair of opposite unidirectional channels.
+type Mesh struct {
+	Q, R int
+}
+
+// NewMesh returns a Q x R hexagonal mesh.
+func NewMesh(q, r int) *Mesh {
+	if q < 2 || r < 2 {
+		panic("hexmesh: dimensions must be at least 2")
+	}
+	return &Mesh{Q: q, R: r}
+}
+
+// NodeID identifies a node; IDs are dense in [0, Nodes()).
+type NodeID int
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.Q * m.R }
+
+// ID returns the node at (q, r).
+func (m *Mesh) ID(q, r int) NodeID {
+	if q < 0 || q >= m.Q || r < 0 || r >= m.R {
+		panic(fmt.Sprintf("hexmesh: (%d,%d) out of range", q, r))
+	}
+	return NodeID(r*m.Q + q)
+}
+
+// Coord returns the axial coordinates of id.
+func (m *Mesh) Coord(id NodeID) (q, r int) {
+	return int(id) % m.Q, int(id) / m.Q
+}
+
+// Neighbor returns the node one step along d, if it is in the region.
+func (m *Mesh) Neighbor(id NodeID, d Direction) (NodeID, bool) {
+	q, r := m.Coord(id)
+	dq, dr := d.Delta()
+	q, r = q+dq, r+dr
+	if q < 0 || q >= m.Q || r < 0 || r >= m.R {
+		return id, false
+	}
+	return m.ID(q, r), true
+}
+
+// Distance returns the hexagonal (lattice) distance between two nodes:
+// for axial displacement (dq, dr) it is (|dq| + |dr| + |dq+dr|) / 2.
+func (m *Mesh) Distance(a, b NodeID) int {
+	qa, ra := m.Coord(a)
+	qb, rb := m.Coord(b)
+	dq, dr := qb-qa, rb-ra
+	return (abs(dq) + abs(dr) + abs(dq+dr)) / 2
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Channel is a unidirectional hexagonal channel.
+type Channel struct {
+	From NodeID
+	Dir  Direction
+}
+
+func (c Channel) String() string { return fmt.Sprintf("hex(%d %s)", c.From, c.Dir) }
+
+// channelID returns a dense index for CDG arrays.
+func (m *Mesh) channelID(c Channel) int { return int(c.From)*int(numDirections) + int(c.Dir) }
+
+func (m *Mesh) channelFromID(id int) Channel {
+	return Channel{From: NodeID(id / int(numDirections)), Dir: Direction(id % int(numDirections))}
+}
+
+// Profitable returns the directions that reduce the distance to dst and
+// stay in the region — the fully adaptive minimal relation.
+func (m *Mesh) Profitable(cur, dst NodeID) []Direction {
+	if cur == dst {
+		return nil
+	}
+	var out []Direction
+	d := m.Distance(cur, dst)
+	for _, dir := range Directions() {
+		if next, ok := m.Neighbor(cur, dir); ok && m.Distance(next, dst) == d-1 {
+			out = append(out, dir)
+		}
+	}
+	return out
+}
+
+// Algorithm is a minimal hexagonal routing relation.
+type Algorithm struct {
+	mesh *Mesh
+	name string
+	// candidates returns the permitted profitable directions.
+	candidates func(cur, dst NodeID) []Direction
+}
+
+// Name identifies the algorithm.
+func (a *Algorithm) Name() string { return a.name }
+
+// Mesh returns the mesh routed on.
+func (a *Algorithm) Mesh() *Mesh { return a.mesh }
+
+// Candidates returns the permitted directions for a packet at cur bound
+// for dst.
+func (a *Algorithm) Candidates(cur, dst NodeID) []Direction { return a.candidates(cur, dst) }
+
+// NewFullyAdaptive returns the unrestricted minimal relation — not
+// deadlock free (the triangle cycles remain), the hexagonal analogue of
+// the orthogonal case.
+func NewFullyAdaptive(m *Mesh) *Algorithm {
+	return &Algorithm{mesh: m, name: "hex-fully-adaptive", candidates: func(cur, dst NodeID) []Direction {
+		return m.Profitable(cur, dst)
+	}}
+}
+
+// NewNegativeFirst returns the hexagonal negative-first algorithm:
+// route first adaptively along profitable negative directions (under
+// the 2q+r functional), then adaptively along positive ones. It
+// prohibits exactly the 6 positive-to-negative turns — the minimum —
+// and is deadlock free by the same strictly-increasing numbering as
+// Theorem 5.
+func NewNegativeFirst(m *Mesh) *Algorithm {
+	return &Algorithm{mesh: m, name: "hex-negative-first", candidates: func(cur, dst NodeID) []Direction {
+		prof := m.Profitable(cur, dst)
+		var neg []Direction
+		for _, d := range prof {
+			if !Positive(d) {
+				neg = append(neg, d)
+			}
+		}
+		if len(neg) > 0 {
+			return neg
+		}
+		var pos []Direction
+		for _, d := range prof {
+			if Positive(d) {
+				pos = append(pos, d)
+			}
+		}
+		return pos
+	}}
+}
+
+// Walk traces one packet taking the first candidate at each hop.
+func Walk(a *Algorithm, src, dst NodeID) ([]NodeID, error) {
+	path := []NodeID{src}
+	cur := src
+	limit := a.mesh.Nodes() * int(numDirections)
+	for cur != dst {
+		if len(path) > limit {
+			return path, fmt.Errorf("hexmesh: %s walk exceeded %d hops", a.name, limit)
+		}
+		cands := a.Candidates(cur, dst)
+		if len(cands) == 0 {
+			return path, fmt.Errorf("hexmesh: %s stuck at %d for dst %d", a.name, cur, dst)
+		}
+		next, ok := a.mesh.Neighbor(cur, cands[0])
+		if !ok {
+			return path, fmt.Errorf("hexmesh: %s chose an out-of-region direction", a.name)
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// BuildCDG constructs the channel dependency graph of a relation,
+// propagating only feasible states as in the orthogonal analyzer. Turn
+// legality is implicit in the relation (the phase structure), so the
+// graph records every (arrive, depart) pair the relation can realize.
+func BuildCDG(a *Algorithm) *Graph {
+	m := a.mesh
+	n := m.Nodes() * int(numDirections)
+	g := &Graph{mesh: m, adj: make([][]int32, n), present: make([]bool, n)}
+	for id := NodeID(0); id < NodeID(m.Nodes()); id++ {
+		for _, d := range Directions() {
+			if _, ok := m.Neighbor(id, d); ok {
+				g.present[m.channelID(Channel{id, d})] = true
+			}
+		}
+	}
+	addEdge := func(c1, c2 int) {
+		for _, e := range g.adj[c1] {
+			if int(e) == c2 {
+				return
+			}
+		}
+		g.adj[c1] = append(g.adj[c1], int32(c2))
+		g.edges++
+	}
+	reachable := make([]bool, n)
+	var queue []int
+	for dst := NodeID(0); dst < NodeID(m.Nodes()); dst++ {
+		for i := range reachable {
+			reachable[i] = false
+		}
+		queue = queue[:0]
+		for src := NodeID(0); src < NodeID(m.Nodes()); src++ {
+			if src == dst {
+				continue
+			}
+			for _, d := range a.Candidates(src, dst) {
+				id := m.channelID(Channel{src, d})
+				if !reachable[id] {
+					reachable[id] = true
+					queue = append(queue, id)
+				}
+			}
+		}
+		for len(queue) > 0 {
+			id := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			c := m.channelFromID(id)
+			node, _ := m.Neighbor(c.From, c.Dir)
+			if node == dst {
+				continue
+			}
+			for _, d := range a.Candidates(node, dst) {
+				id2 := m.channelID(Channel{node, d})
+				addEdge(id, id2)
+				if !reachable[id2] {
+					reachable[id2] = true
+					queue = append(queue, id2)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Graph is a hexagonal channel dependency graph.
+type Graph struct {
+	mesh    *Mesh
+	adj     [][]int32
+	present []bool
+	edges   int
+}
+
+// NumEdges returns the dependency edge count.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// FindCycle returns a dependency cycle, or nil if the graph is acyclic.
+func (g *Graph) FindCycle() []Channel {
+	const (
+		white = iota
+		gray
+		black
+	)
+	n := len(g.adj)
+	color := make([]int8, n)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	type frame struct{ node, edge int }
+	var stack []frame
+	for start := 0; start < n; start++ {
+		if color[start] != white || !g.present[start] {
+			continue
+		}
+		color[start] = gray
+		stack = append(stack[:0], frame{node: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.edge < len(g.adj[f.node]) {
+				next := int(g.adj[f.node][f.edge])
+				f.edge++
+				switch color[next] {
+				case white:
+					color[next] = gray
+					parent[next] = int32(f.node)
+					stack = append(stack, frame{node: next})
+				case gray:
+					var cyc []Channel
+					for v := f.node; ; v = int(parent[v]) {
+						cyc = append(cyc, g.mesh.channelFromID(v))
+						if v == next {
+							break
+						}
+					}
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// Acyclic reports whether the graph has no cycles.
+func (g *Graph) Acyclic() bool { return g.FindCycle() == nil }
+
+// NegativeFirstNumber is the Theorem 5 numbering transplanted to the
+// hexagonal mesh: with F(q, r) = 2q + r the coordinate functional and C
+// a constant larger than any |F|, positive channels leaving a node are
+// numbered C + F and negative channels C - F; the negative-first
+// relation routes along strictly increasing numbers.
+func (m *Mesh) NegativeFirstNumber(c Channel) int {
+	q, r := m.Coord(c.From)
+	f := 2*q + r
+	base := 2 * (2*m.Q + m.R) // larger than any |F|
+	if Positive(c.Dir) {
+		return base + f
+	}
+	return base - f
+}
+
+// VerifyMonotone checks that every dependency edge strictly increases
+// the numbering, returning the number of violations.
+func (g *Graph) VerifyMonotone(num func(Channel) int) int {
+	violations := 0
+	for id, outs := range g.adj {
+		from := g.mesh.channelFromID(id)
+		for _, out := range outs {
+			to := g.mesh.channelFromID(int(out))
+			if num(to) <= num(from) {
+				violations++
+			}
+		}
+	}
+	return violations
+}
+
+// CountMinimalPaths exhaustively counts the shortest paths from src to
+// dst that the relation permits — the hexagonal S_algorithm, mirroring
+// the Section 3.4 analysis. Counts fit int64 comfortably on the mesh
+// sizes here.
+func CountMinimalPaths(a *Algorithm, src, dst NodeID) int64 {
+	memo := make(map[NodeID]int64)
+	var count func(cur NodeID) int64
+	count = func(cur NodeID) int64 {
+		if cur == dst {
+			return 1
+		}
+		if v, ok := memo[cur]; ok {
+			return v
+		}
+		var total int64
+		for _, d := range a.Candidates(cur, dst) {
+			next, ok := a.mesh.Neighbor(cur, d)
+			if !ok {
+				continue
+			}
+			total += count(next)
+		}
+		memo[cur] = total
+		return total
+	}
+	return count(src)
+}
+
+// AdaptivenessRatio returns the mean S_p/S_f over all ordered pairs of
+// distinct nodes, the hexagonal analogue of the Section 3.4 degree of
+// adaptiveness.
+func AdaptivenessRatio(m *Mesh, p *Algorithm) float64 {
+	full := NewFullyAdaptive(m)
+	var sum float64
+	var pairs int
+	for src := NodeID(0); src < NodeID(m.Nodes()); src++ {
+		for dst := NodeID(0); dst < NodeID(m.Nodes()); dst++ {
+			if src == dst {
+				continue
+			}
+			pairs++
+			sp := CountMinimalPaths(p, src, dst)
+			sf := CountMinimalPaths(full, src, dst)
+			sum += float64(sp) / float64(sf)
+		}
+	}
+	return sum / float64(pairs)
+}

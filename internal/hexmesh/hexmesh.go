@@ -1,0 +1,263 @@
+// Package hexmesh applies the turn model to hexagonal meshes, the first
+// topology on the paper's future-work list: "another obvious extension
+// of our work is to apply the turn model to other topologies, such as
+// hexagonal ... networks ... In such topologies, the turns are not
+// necessarily 90-degrees and the abstract cycles are not necessarily
+// formed by four turns."
+//
+// A hexagonal mesh is a triangular lattice: each interior node has six
+// neighbors along the directions E, NE, NW, W, SW, SE (axial
+// coordinates). The turn structure differs from the orthogonal case
+// exactly as the paper predicts:
+//
+//   - each direction admits four turns (two 60-degree, two 120-degree),
+//     24 turns in all;
+//   - the abstract cycles are four triangles of three 120-degree turns
+//     and two hexagons of six 60-degree turns — and these six cycles
+//     PARTITION the 24 turns, so at least 6 turns (again exactly a
+//     quarter) must be prohibited to prevent deadlock, mirroring
+//     Theorem 1;
+//   - the negative-first construction carries over verbatim: classify
+//     each direction by the sign of a generic linear functional of its
+//     displacement; prohibiting every positive-to-negative turn breaks
+//     every cycle (any closed walk's directions sum to zero, so it uses
+//     both signs), costs exactly 6 turns (the Theorem 1 minimum), and
+//     the Theorem 5 numbering proof — channels ordered by the
+//     functional, negative channels before positive — applies unchanged.
+//
+// The package is self-contained (hexagonal adjacency does not fit the
+// orthogonal topology package) and brings its own channel dependency
+// analysis to verify the claims exhaustively.
+package hexmesh
+
+import (
+	"fmt"
+)
+
+// Direction is one of the six lattice directions, in counterclockwise
+// order starting east.
+type Direction int
+
+// The six hexagonal directions in axial coordinates (q, r): E = (1,0),
+// NE = (0,1), NW = (-1,1), W = (-1,0), SW = (0,-1), SE = (1,-1).
+const (
+	E Direction = iota
+	NE
+	NW
+	W
+	SW
+	SE
+	numDirections
+)
+
+var dirNames = [...]string{"E", "NE", "NW", "W", "SW", "SE"}
+
+func (d Direction) String() string { return dirNames[d] }
+
+// Delta returns the axial displacement of the direction.
+func (d Direction) Delta() (dq, dr int) {
+	switch d {
+	case E:
+		return 1, 0
+	case NE:
+		return 0, 1
+	case NW:
+		return -1, 1
+	case W:
+		return -1, 0
+	case SW:
+		return 0, -1
+	default: // SE
+		return 1, -1
+	}
+}
+
+// Opposite returns the 180-degree reverse.
+func (d Direction) Opposite() Direction { return (d + 3) % numDirections }
+
+// Directions lists all six directions.
+func Directions() []Direction {
+	return []Direction{E, NE, NW, W, SW, SE}
+}
+
+// Turn is an ordered pair of directions.
+type Turn struct {
+	From, To Direction
+}
+
+func (t Turn) String() string { return fmt.Sprintf("%s->%s", t.From, t.To) }
+
+// Degree returns the turn angle in degrees: 0, 60, 120 or 180.
+func (t Turn) Degree() int {
+	diff := int(t.To-t.From+numDirections) % int(numDirections)
+	switch diff {
+	case 0:
+		return 0
+	case 1, 5:
+		return 60
+	case 2, 4:
+		return 120
+	default:
+		return 180
+	}
+}
+
+// AllTurns enumerates the 24 turns of the hexagonal mesh (both 60- and
+// 120-degree; 0- and 180-degree transitions excluded as in Step 2 of
+// the model).
+func AllTurns() []Turn {
+	var turns []Turn
+	for _, from := range Directions() {
+		for _, to := range Directions() {
+			t := Turn{from, to}
+			if deg := t.Degree(); deg == 60 || deg == 120 {
+				turns = append(turns, t)
+			}
+		}
+	}
+	return turns
+}
+
+// Cycle is one abstract cycle of turns; the To of each turn is the From
+// of the next.
+type Cycle struct {
+	Kind  string // "triangle" or "hexagon"
+	Turns []Turn
+}
+
+func (c Cycle) String() string { return fmt.Sprintf("%s cycle %v", c.Kind, c.Turns) }
+
+// AbstractCycles enumerates the six abstract cycles of the hexagonal
+// mesh: four triangles of 120-degree turns and two hexagons of
+// 60-degree turns. Together they partition the 24 turns (verified in
+// tests), the hexagonal analogue of Theorem 1's partition.
+func AbstractCycles() []Cycle {
+	var cycles []Cycle
+	// Triangles: direction triples at mutual 120 degrees (d, d+2, d+4),
+	// traversed in both cyclic orders. Starting points d = E, NE give
+	// all four distinct cycles.
+	for _, start := range []Direction{E, NE} {
+		a, b, c := start, (start+2)%numDirections, (start+4)%numDirections
+		cycles = append(cycles,
+			Cycle{Kind: "triangle", Turns: []Turn{{a, b}, {b, c}, {c, a}}},
+			Cycle{Kind: "triangle", Turns: []Turn{{a, c}, {c, b}, {b, a}}},
+		)
+	}
+	// Hexagons: the all-left-turns ring (directions ascending E, NE, NW,
+	// W, SW, SE) and the all-right-turns ring (the same directions
+	// descending).
+	var left, right []Turn
+	for i := Direction(0); i < numDirections; i++ {
+		left = append(left, Turn{i, (i + 1) % numDirections})
+		d := (numDirections - i) % numDirections
+		right = append(right, Turn{d, (d + numDirections - 1) % numDirections})
+	}
+	cycles = append(cycles,
+		Cycle{Kind: "hexagon", Turns: left},
+		Cycle{Kind: "hexagon", Turns: right},
+	)
+	return cycles
+}
+
+// NumTurns and related counts, after Theorem 1's pattern.
+func NumTurns() int { return 24 }
+
+// NumAbstractCycles returns 6: four triangles plus two hexagons.
+func NumAbstractCycles() int { return 6 }
+
+// MinimumProhibited returns the minimum number of turns whose
+// prohibition can break every abstract cycle: one per cycle, and the
+// cycles partition the turns, so exactly 6 — a quarter of the turns,
+// exactly as in the orthogonal meshes of Theorem 1.
+func MinimumProhibited() int { return 6 }
+
+// Positive reports the sign classification used by the negative-first
+// construction: the sign of the displacement under the generic
+// functional f(dq, dr) = 2*dq + dr, nonzero on all six directions.
+func Positive(d Direction) bool {
+	dq, dr := d.Delta()
+	return 2*dq+dr > 0
+}
+
+// Set records allowed turns.
+type Set struct {
+	name    string
+	allowed map[Turn]bool
+}
+
+// NewSet returns a set with all 24 turns allowed.
+func NewSet(name string) *Set {
+	s := &Set{name: name, allowed: make(map[Turn]bool)}
+	for _, t := range AllTurns() {
+		s.allowed[t] = true
+	}
+	return s
+}
+
+// NegativeFirstSet prohibits every turn from a positive direction to a
+// negative one — exactly 6 turns, the minimum.
+func NegativeFirstSet() *Set {
+	s := NewSet("hex-negative-first")
+	for _, t := range AllTurns() {
+		if Positive(t.From) && !Positive(t.To) {
+			s.allowed[t] = false
+		}
+	}
+	return s
+}
+
+// Name returns the set's name.
+func (s *Set) Name() string { return s.name }
+
+// Prohibit marks turns as prohibited.
+func (s *Set) Prohibit(turns ...Turn) *Set {
+	for _, t := range turns {
+		if deg := t.Degree(); deg != 60 && deg != 120 {
+			panic(fmt.Sprintf("hexmesh: %v is not a 60- or 120-degree turn", t))
+		}
+		s.allowed[t] = false
+	}
+	return s
+}
+
+// Allowed reports whether a transition is allowed: 0-degree always,
+// 180-degree never, others per the set.
+func (s *Set) Allowed(t Turn) bool {
+	switch t.Degree() {
+	case 0:
+		return true
+	case 180:
+		return false
+	}
+	return s.allowed[t]
+}
+
+// Prohibited returns the prohibited turns.
+func (s *Set) Prohibited() []Turn {
+	var out []Turn
+	for _, t := range AllTurns() {
+		if !s.allowed[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// BreaksAllAbstractCycles reports whether at least one turn of every
+// abstract cycle is prohibited, returning intact cycles.
+func (s *Set) BreaksAllAbstractCycles() (bool, []Cycle) {
+	var intact []Cycle
+	for _, c := range AbstractCycles() {
+		broken := false
+		for _, t := range c.Turns {
+			if !s.allowed[t] {
+				broken = true
+				break
+			}
+		}
+		if !broken {
+			intact = append(intact, c)
+		}
+	}
+	return len(intact) == 0, intact
+}

@@ -1,0 +1,321 @@
+package hexmesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTurnCounting: the hexagonal analogue of Theorem 1's bookkeeping —
+// 24 turns, 6 abstract cycles (4 triangles + 2 hexagons) that partition
+// the turns, so a quarter of the turns is the prohibition minimum.
+func TestTurnCounting(t *testing.T) {
+	turns := AllTurns()
+	if len(turns) != NumTurns() || len(turns) != 24 {
+		t.Fatalf("%d turns, want 24", len(turns))
+	}
+	deg60, deg120 := 0, 0
+	for _, turn := range turns {
+		switch turn.Degree() {
+		case 60:
+			deg60++
+		case 120:
+			deg120++
+		default:
+			t.Fatalf("turn %v has degree %d", turn, turn.Degree())
+		}
+	}
+	if deg60 != 12 || deg120 != 12 {
+		t.Errorf("60/120 split = %d/%d, want 12/12", deg60, deg120)
+	}
+	cycles := AbstractCycles()
+	if len(cycles) != NumAbstractCycles() || len(cycles) != 6 {
+		t.Fatalf("%d cycles, want 6", len(cycles))
+	}
+	triangles, hexagons := 0, 0
+	seen := map[Turn]int{}
+	for _, c := range cycles {
+		switch c.Kind {
+		case "triangle":
+			triangles++
+			if len(c.Turns) != 3 {
+				t.Errorf("triangle with %d turns", len(c.Turns))
+			}
+		case "hexagon":
+			hexagons++
+			if len(c.Turns) != 6 {
+				t.Errorf("hexagon with %d turns", len(c.Turns))
+			}
+		}
+		for i, turn := range c.Turns {
+			next := c.Turns[(i+1)%len(c.Turns)]
+			if turn.To != next.From {
+				t.Errorf("%v: turn %d does not chain", c, i)
+			}
+			seen[turn]++
+		}
+	}
+	if triangles != 4 || hexagons != 2 {
+		t.Errorf("%d triangles, %d hexagons; want 4 and 2", triangles, hexagons)
+	}
+	// The partition property, exactly as in Theorem 1's proof.
+	if len(seen) != 24 {
+		t.Errorf("cycles cover %d turns, want 24", len(seen))
+	}
+	for turn, n := range seen {
+		if n != 1 {
+			t.Errorf("turn %v appears %d times", turn, n)
+		}
+	}
+	if MinimumProhibited() != NumTurns()/4 {
+		t.Error("the minimum is a quarter of the turns")
+	}
+}
+
+// TestTriangleCyclesAreGeometric: each triangle's displacement sums to
+// zero — the cycles close on the lattice.
+func TestTriangleCyclesAreGeometric(t *testing.T) {
+	for _, c := range AbstractCycles() {
+		var sq, sr int
+		for _, turn := range c.Turns {
+			dq, dr := turn.From.Delta()
+			sq += dq
+			sr += dr
+		}
+		if sq != 0 || sr != 0 {
+			t.Errorf("%v does not close: displacement (%d,%d)", c, sq, sr)
+		}
+	}
+}
+
+// TestNegativeFirstSetMinimal: the hexagonal negative-first set
+// prohibits exactly 6 turns (the minimum) and breaks every abstract
+// cycle.
+func TestNegativeFirstSetMinimal(t *testing.T) {
+	s := NegativeFirstSet()
+	if got := len(s.Prohibited()); got != MinimumProhibited() {
+		t.Errorf("prohibits %d turns, want %d", got, MinimumProhibited())
+	}
+	ok, intact := s.BreaksAllAbstractCycles()
+	if !ok {
+		t.Errorf("cycles left intact: %v", intact)
+	}
+	for _, turn := range s.Prohibited() {
+		if !Positive(turn.From) || Positive(turn.To) {
+			t.Errorf("prohibited %v is not a positive-to-negative turn", turn)
+		}
+	}
+}
+
+// TestSignClassification: three positive, three negative directions;
+// opposites have opposite signs.
+func TestSignClassification(t *testing.T) {
+	pos := 0
+	for _, d := range Directions() {
+		if Positive(d) {
+			pos++
+		}
+		if Positive(d) == Positive(d.Opposite()) {
+			t.Errorf("%v and %v share a sign", d, d.Opposite())
+		}
+	}
+	if pos != 3 {
+		t.Errorf("%d positive directions, want 3", pos)
+	}
+}
+
+// TestDirectionGeometry: opposites cancel; Degree is symmetric under
+// reversal of both directions.
+func TestDirectionGeometry(t *testing.T) {
+	for _, d := range Directions() {
+		dq, dr := d.Delta()
+		oq, or := d.Opposite().Delta()
+		if dq+oq != 0 || dr+or != 0 {
+			t.Errorf("%v and %v do not cancel", d, d.Opposite())
+		}
+	}
+	f := func(a, b uint8) bool {
+		x := Direction(a % 6)
+		y := Direction(b % 6)
+		return Turn{x, y}.Degree() == Turn{y, x}.Degree()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistance: known values on the lattice.
+func TestDistance(t *testing.T) {
+	m := NewMesh(8, 8)
+	cases := []struct {
+		a, b [2]int
+		want int
+	}{
+		{[2]int{0, 0}, [2]int{3, 0}, 3},
+		{[2]int{0, 0}, [2]int{0, 3}, 3},
+		{[2]int{0, 0}, [2]int{3, 3}, 6}, // same-sign axial offsets add
+		{[2]int{3, 0}, [2]int{0, 3}, 3}, // opposite-sign offsets share NW moves
+		{[2]int{2, 2}, [2]int{2, 2}, 0},
+	}
+	for _, c := range cases {
+		got := m.Distance(m.ID(c.a[0], c.a[1]), m.ID(c.b[0], c.b[1]))
+		if got != c.want {
+			t.Errorf("distance %v->%v = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestAllPairsDelivery: both relations deliver every pair minimally.
+func TestAllPairsDelivery(t *testing.T) {
+	m := NewMesh(6, 5)
+	for _, alg := range []*Algorithm{NewFullyAdaptive(m), NewNegativeFirst(m)} {
+		for src := NodeID(0); src < NodeID(m.Nodes()); src++ {
+			for dst := NodeID(0); dst < NodeID(m.Nodes()); dst++ {
+				if src == dst {
+					continue
+				}
+				path, err := Walk(alg, src, dst)
+				if err != nil {
+					t.Fatalf("%s %d->%d: %v", alg.Name(), src, dst, err)
+				}
+				if len(path)-1 != m.Distance(src, dst) {
+					t.Fatalf("%s %d->%d: %d hops, want %d", alg.Name(), src, dst, len(path)-1, m.Distance(src, dst))
+				}
+			}
+		}
+	}
+}
+
+// TestNegativeFirstHexDeadlockFree: the future-work claim, verified —
+// the negative-first construction transplants to the hexagonal mesh
+// with an acyclic dependency graph and a strictly increasing numbering,
+// while the unrestricted relation is cyclic (the triangle cycles are
+// live).
+func TestNegativeFirstHexDeadlockFree(t *testing.T) {
+	for _, dims := range [][2]int{{4, 4}, {6, 5}, {8, 8}} {
+		m := NewMesh(dims[0], dims[1])
+		g := BuildCDG(NewNegativeFirst(m))
+		if !g.Acyclic() {
+			t.Errorf("hex negative-first cyclic on %dx%d", dims[0], dims[1])
+		}
+		if v := g.VerifyMonotone(m.NegativeFirstNumber); v != 0 {
+			t.Errorf("numbering violations: %d on %dx%d", v, dims[0], dims[1])
+		}
+		bad := BuildCDG(NewFullyAdaptive(m))
+		if bad.Acyclic() {
+			t.Errorf("hex fully adaptive should be cyclic on %dx%d", dims[0], dims[1])
+		}
+		if bad.NumEdges() <= g.NumEdges() {
+			t.Errorf("fully adaptive should have more dependencies")
+		}
+	}
+}
+
+// TestCycleWitnessValid: the fully adaptive witness cycle is connected
+// on the lattice.
+func TestCycleWitnessValid(t *testing.T) {
+	m := NewMesh(5, 5)
+	g := BuildCDG(NewFullyAdaptive(m))
+	cyc := g.FindCycle()
+	if cyc == nil {
+		t.Fatal("expected a cycle")
+	}
+	for i, c := range cyc {
+		to, ok := m.Neighbor(c.From, c.Dir)
+		if !ok {
+			t.Fatalf("cycle channel %v leaves the region", c)
+		}
+		next := cyc[(i+1)%len(cyc)]
+		if to != next.From {
+			t.Fatalf("cycle not connected at %d", i)
+		}
+	}
+}
+
+// TestNegativeFirstPhaseOrder: along hex negative-first walks, no
+// positive move precedes a negative one.
+func TestNegativeFirstPhaseOrder(t *testing.T) {
+	m := NewMesh(7, 7)
+	alg := NewNegativeFirst(m)
+	for src := NodeID(0); src < NodeID(m.Nodes()); src += 3 {
+		for dst := NodeID(0); dst < NodeID(m.Nodes()); dst += 5 {
+			if src == dst {
+				continue
+			}
+			path, err := Walk(alg, src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			positiveSeen := false
+			for i := 1; i < len(path); i++ {
+				qa, ra := m.Coord(path[i-1])
+				qb, rb := m.Coord(path[i])
+				pos := 2*(qb-qa)+(rb-ra) > 0
+				if pos {
+					positiveSeen = true
+				} else if positiveSeen {
+					t.Fatalf("negative move after positive on %v", path)
+				}
+			}
+		}
+	}
+}
+
+// TestMeshBasics covers bounds and panics.
+func TestMeshBasics(t *testing.T) {
+	m := NewMesh(4, 3)
+	if m.Nodes() != 12 {
+		t.Errorf("nodes = %d", m.Nodes())
+	}
+	if _, ok := m.Neighbor(m.ID(0, 0), W); ok {
+		t.Error("west edge should have no west neighbor")
+	}
+	if _, ok := m.Neighbor(m.ID(3, 2), NE); ok {
+		t.Error("top corner should have no NE neighbor")
+	}
+	q, r := m.Coord(m.ID(2, 1))
+	if q != 2 || r != 1 {
+		t.Errorf("coord round trip failed: (%d,%d)", q, r)
+	}
+	for name, fn := range map[string]func(){
+		"small":     func() { NewMesh(1, 5) },
+		"bad coord": func() { m.ID(4, 0) },
+		"bad turn":  func() { NewSet("x").Prohibit(Turn{E, E}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHexAdaptiveness: hex negative-first keeps a substantial fraction
+// of the fully adaptive path diversity (Section 3.4's measure carried
+// over), with 1 <= S_nf <= S_f on every pair.
+func TestHexAdaptiveness(t *testing.T) {
+	m := NewMesh(6, 6)
+	nf := NewNegativeFirst(m)
+	full := NewFullyAdaptive(m)
+	for src := NodeID(0); src < NodeID(m.Nodes()); src++ {
+		for dst := NodeID(0); dst < NodeID(m.Nodes()); dst++ {
+			if src == dst {
+				continue
+			}
+			sp := CountMinimalPaths(nf, src, dst)
+			sf := CountMinimalPaths(full, src, dst)
+			if sp < 1 || sp > sf {
+				t.Fatalf("%d->%d: S_nf=%d S_f=%d", src, dst, sp, sf)
+			}
+		}
+	}
+	r := AdaptivenessRatio(m, nf)
+	if r <= 0.3 || r > 1 {
+		t.Errorf("mean S_nf/S_f = %.4f, expected a substantial fraction", r)
+	}
+	if rf := AdaptivenessRatio(m, full); rf != 1 {
+		t.Errorf("fully adaptive ratio = %v, want 1", rf)
+	}
+}

@@ -1,0 +1,95 @@
+package routing
+
+import (
+	"fmt"
+	"strings"
+
+	"turnmodel/internal/topology"
+)
+
+// RenderPathGrid draws one route on a 2D mesh as ASCII art in the style
+// of the paper's example-path figures (5b, 9b, 10b): north is up, 'S'
+// marks the source, 'D' the destination, and each intermediate node
+// shows the direction the packet left it ('>', '<', '^', 'v'). Faulty
+// channels' endpoints show '#' when the fault touches the path's row or
+// column; unvisited nodes are '.'.
+func RenderPathGrid(t *topology.Topology, path []topology.NodeID) string {
+	if t.NumDims() != 2 {
+		panic("routing: RenderPathGrid requires a 2D mesh")
+	}
+	if len(path) == 0 {
+		return ""
+	}
+	w, h := t.Dims()[0], t.Dims()[1]
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(". ", w))
+	}
+	put := func(id topology.NodeID, c byte) {
+		x := t.CoordOf(id, 0)
+		y := t.CoordOf(id, 1)
+		grid[h-1-y][2*x] = c
+	}
+	for i := 0; i < len(path)-1; i++ {
+		cur, next := path[i], path[i+1]
+		var glyph byte = '?'
+		for dim := 0; dim < 2; dim++ {
+			d := t.CoordOf(next, dim) - t.CoordOf(cur, dim)
+			if d == 0 {
+				continue
+			}
+			// Normalize wraparound moves to their travel direction.
+			if d > 1 {
+				d = -1
+			} else if d < -1 {
+				d = 1
+			}
+			switch {
+			case dim == 0 && d > 0:
+				glyph = '>'
+			case dim == 0:
+				glyph = '<'
+			case d > 0:
+				glyph = '^'
+			default:
+				glyph = 'v'
+			}
+		}
+		put(cur, glyph)
+	}
+	put(path[0], 'S')
+	put(path[len(path)-1], 'D')
+	var b strings.Builder
+	for _, row := range grid {
+		b.WriteString(strings.TrimRight(string(row), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTurns draws the eight 90-degree turns of a 2D mesh grouped by
+// abstract cycle, marking each as allowed or prohibited by the set —
+// the content of Figures 3, 5a, 9a and 10a in text form. The caller
+// provides the Allowed predicate so this file does not import core.
+func RenderTurns(allowed func(from, to topology.Direction) bool) string {
+	e := topology.Direction{Dim: 0, Pos: true}
+	w := topology.Direction{Dim: 0}
+	n := topology.Direction{Dim: 1, Pos: true}
+	s := topology.Direction{Dim: 1}
+	mark := func(from, to topology.Direction) string {
+		if allowed(from, to) {
+			return fmt.Sprintf("%-5s -> %-5s  allowed", from, to)
+		}
+		return fmt.Sprintf("%-5s -> %-5s  PROHIBITED", from, to)
+	}
+	var b strings.Builder
+	b.WriteString("clockwise cycle (right turns):\n")
+	for _, t := range [][2]topology.Direction{{e, s}, {s, w}, {w, n}, {n, e}} {
+		fmt.Fprintf(&b, "  %s\n", mark(t[0], t[1]))
+	}
+	b.WriteString("counterclockwise cycle (left turns):\n")
+	for _, t := range [][2]topology.Direction{{e, n}, {n, w}, {w, s}, {s, e}} {
+		fmt.Fprintf(&b, "  %s\n", mark(t[0], t[1]))
+	}
+	return b.String()
+}

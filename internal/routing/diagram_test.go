@@ -1,0 +1,88 @@
+package routing
+
+import (
+	"strings"
+	"testing"
+
+	"turnmodel/internal/core"
+	"turnmodel/internal/topology"
+)
+
+func TestRenderPathGrid(t *testing.T) {
+	topo := topology.NewMesh(4, 3)
+	alg := NewWestFirst(topo)
+	path, err := Walk(alg, topo.ID(topology.Coord{3, 0}), topo.ID(topology.Coord{0, 2}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RenderPathGrid(topo, path)
+	// West-first: all west first along y=0, then north at x=0. North is
+	// up: row 0 is y=2.
+	want := "" +
+		"D . . .\n" +
+		"^ . . .\n" +
+		"^ < < S\n"
+	if got != want {
+		t.Errorf("grid mismatch:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderPathGridSingleNode(t *testing.T) {
+	topo := topology.NewMesh(3, 3)
+	got := RenderPathGrid(topo, []topology.NodeID{topo.ID(topology.Coord{1, 1})})
+	if !strings.Contains(got, "D") {
+		t.Errorf("single-node path should still mark the node:\n%s", got)
+	}
+	if RenderPathGrid(topo, nil) != "" {
+		t.Error("empty path should render empty")
+	}
+}
+
+func TestRenderPathGridTorusWrap(t *testing.T) {
+	topo := topology.NewTorus(5, 2)
+	alg := NewWrapFirstHop(NewNegativeFirst(topo))
+	path, err := Walk(alg, topo.ID(topology.Coord{4, 0}), topo.ID(topology.Coord{0, 0}), GreedySelector(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RenderPathGrid(topo, path)
+	// The single wraparound hop renders as an eastward departure.
+	if !strings.Contains(got, "S") || !strings.Contains(got, "D") {
+		t.Errorf("missing endpoints:\n%s", got)
+	}
+	rows := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if !strings.Contains(rows[len(rows)-1], "S") || !strings.Contains(rows[len(rows)-1], "D") {
+		t.Errorf("endpoints should be on the y=0 (bottom) row:\n%s", got)
+	}
+	// The 1-hop wraparound leaves no intermediate arrows.
+	if len(path)-1 != 1 {
+		t.Errorf("expected the single wraparound hop, got %d hops", len(path)-1)
+	}
+}
+
+func TestRenderPathGridPanicsOn3D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RenderPathGrid(topology.NewMesh(3, 3, 3), nil)
+}
+
+func TestRenderTurns(t *testing.T) {
+	set := core.WestFirstSet()
+	out := RenderTurns(func(from, to topology.Direction) bool {
+		return set.Allowed(core.Turn{From: from, To: to})
+	})
+	if strings.Count(out, "PROHIBITED") != 2 {
+		t.Errorf("west-first should prohibit exactly 2 turns:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "PROHIBITED") && !strings.Contains(line, "-> west") {
+			t.Errorf("prohibited turn should be a turn to the west: %q", line)
+		}
+	}
+	if strings.Count(out, "allowed") != 6 {
+		t.Errorf("six turns should be allowed:\n%s", out)
+	}
+}

@@ -1,0 +1,72 @@
+package routing
+
+import (
+	"turnmodel/internal/topology"
+)
+
+// DoubleY is a maximally (fully) adaptive routing algorithm for 2D
+// meshes with one extra channel in the y direction — the application of
+// the turn model to networks with extra channels that the paper defers
+// to its companion work [18] ("Adding extra physical or virtual channels
+// to the topologies allows the model to produce fully adaptive routing
+// algorithms").
+//
+// Construction (Step 1 of the model: treat the two y channels as two
+// virtual directions, then prohibit turns between the enlarged direction
+// set): y moves travel on class 0 while the packet still needs to travel
+// west and on class 1 once it only travels east (or is done with x);
+// x moves use their single channel. Every profitable physical direction
+// is always offered — the relation is minimal fully adaptive — yet the
+// virtual channel dependency graph is acyclic:
+//
+//   - the class-0 sub-network {west, north0, south0} contains no
+//     eastward channels, so its plane cycles are broken at the turns
+//     into east;
+//   - the class-1 sub-network {east, north1, south1} contains no
+//     westward channels, so its cycles are broken at the turns into
+//     west;
+//   - transitions go only from class 0 to class 1 (a minimal packet's
+//     remaining westward distance never increases), never back.
+//
+// CheckVC verifies the acyclicity exhaustively in the tests. On the
+// simulator the second y channel costs one extra buffer per y input —
+// the "expense of adding virtual channels" the paper weighs against its
+// extra-channel-free algorithms.
+type DoubleY struct{ base }
+
+// NewDoubleY returns fully adaptive double-y-channel routing on 2D
+// mesh t.
+func NewDoubleY(t *topology.Topology) *DoubleY {
+	if t.NumDims() != 2 || t.Kind() != topology.KindMesh {
+		panic("routing: double-y routing requires a 2D mesh")
+	}
+	return &DoubleY{base{topo: t, name: "double-y"}}
+}
+
+// NumVCs implements VCAlgorithm. Both physical directions get two
+// virtual channels in the simulator's uniform layout; the x channels
+// simply never use class 1.
+func (a *DoubleY) NumVCs() int { return 2 }
+
+// CandidatesVC implements VCAlgorithm: all profitable directions, with
+// y moves classed by the remaining westward need.
+func (a *DoubleY) CandidatesVC(cur, dst topology.NodeID, _ VCInPort, buf []VirtualDirection) []VirtualDirection {
+	a.checkDistinct(cur, dst)
+	dx := a.topo.Delta(cur, dst, 0)
+	dy := a.topo.Delta(cur, dst, 1)
+	yClass := 1
+	if dx < 0 {
+		yClass = 0
+	}
+	if dx < 0 {
+		buf = append(buf, VirtualDirection{Dir: topology.Direction{Dim: 0}})
+	} else if dx > 0 {
+		buf = append(buf, VirtualDirection{Dir: topology.Direction{Dim: 0, Pos: true}})
+	}
+	if dy < 0 {
+		buf = append(buf, VirtualDirection{Dir: topology.Direction{Dim: 1}, VC: yClass})
+	} else if dy > 0 {
+		buf = append(buf, VirtualDirection{Dir: topology.Direction{Dim: 1, Pos: true}, VC: yClass})
+	}
+	return buf
+}

@@ -1,0 +1,97 @@
+package routing
+
+import (
+	"testing"
+
+	"turnmodel/internal/topology"
+)
+
+// TestDoubleYFullyAdaptive: the relation offers every profitable
+// physical direction at every state — S_double-y equals S_f.
+func TestDoubleYFullyAdaptive(t *testing.T) {
+	topo := topology.NewMesh(6, 6)
+	dy := NewDoubleY(topo)
+	full := NewFullyAdaptive(topo)
+	for src := topology.NodeID(0); src < topology.NodeID(topo.Nodes()); src++ {
+		for dst := topology.NodeID(0); dst < topology.NodeID(topo.Nodes()); dst++ {
+			if src == dst {
+				continue
+			}
+			want := CandidateList(full, src, dst, Injected)
+			got := dy.CandidatesVC(src, dst, VCInjected, nil)
+			if len(got) != len(want) {
+				t.Fatalf("%d->%d: %v vs %v", src, dst, got, want)
+			}
+			for i := range want {
+				if got[i].Dir != want[i] {
+					t.Fatalf("%d->%d: %v vs %v", src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDoubleYClassDiscipline: y moves use class 0 exactly while the
+// packet still needs to travel west; x moves always class 0.
+func TestDoubleYClassDiscipline(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	dy := NewDoubleY(topo)
+	for src := topology.NodeID(0); src < topology.NodeID(topo.Nodes()); src++ {
+		for dst := topology.NodeID(0); dst < topology.NodeID(topo.Nodes()); dst++ {
+			if src == dst {
+				continue
+			}
+			needWest := topo.Delta(src, dst, 0) < 0
+			for _, vd := range dy.CandidatesVC(src, dst, VCInjected, nil) {
+				if vd.Dir.Dim == 0 && vd.VC != 0 {
+					t.Fatalf("x move on class %d", vd.VC)
+				}
+				if vd.Dir.Dim == 1 {
+					wantClass := 1
+					if needWest {
+						wantClass = 0
+					}
+					if vd.VC != wantClass {
+						t.Fatalf("%d->%d: y move on class %d, want %d", src, dst, vd.VC, wantClass)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDoubleYDelivery: VC walks reach every destination minimally.
+func TestDoubleYDelivery(t *testing.T) {
+	topo := topology.NewMesh(7, 5)
+	dy := NewDoubleY(topo)
+	for src := topology.NodeID(0); src < topology.NodeID(topo.Nodes()); src++ {
+		for dst := topology.NodeID(0); dst < topology.NodeID(topo.Nodes()); dst++ {
+			if src == dst {
+				continue
+			}
+			path, err := WalkVC(dy, src, dst)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", src, dst, err)
+			}
+			if len(path)-1 != topo.Distance(src, dst) {
+				t.Fatalf("%d->%d: %d hops", src, dst, len(path)-1)
+			}
+		}
+	}
+}
+
+func TestDoubleYPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"3D":    func() { NewDoubleY(topology.NewMesh(3, 3, 3)) },
+		"torus": func() { NewDoubleY(topology.NewTorus(4, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

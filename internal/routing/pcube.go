@@ -1,0 +1,136 @@
+package routing
+
+import (
+	"math/bits"
+
+	"turnmodel/internal/topology"
+)
+
+// This file implements the p-cube routing algorithm of Section 5 in its
+// published bitwise form (Figures 11 and 12). The minimal p-cube
+// algorithm is semantically identical to NegativeFirst on a hypercube —
+// dimensions where the current bit is 1 and the destination bit is 0 are
+// negative moves, and 0->1 flips are positive moves — but the bitwise
+// formulation is the paper's compact router expression and is exposed
+// both for fidelity and for the Section 5 example table.
+
+// Addr is a hypercube node address treated as a bit vector; bit i is
+// coordinate x_i.
+type Addr uint64
+
+// AddrOf converts a topology node ID of a hypercube to its address.
+// Node IDs in this package place coordinate x_0 in bit 0.
+func AddrOf(id topology.NodeID) Addr { return Addr(id) }
+
+// NodeOf converts an address back to a node ID.
+func (a Addr) NodeOf() topology.NodeID { return topology.NodeID(a) }
+
+// PCubeMinimalSteps computes the routable dimensions of the minimal
+// p-cube algorithm (Figure 11) for current address c and destination d:
+//
+//  1. If C = D, route the packet to the local processor (returns 0).
+//  2. R = C AND (NOT D).
+//  3. If R = 0, then R = (NOT C) AND D.
+//  4. Route the packet along any dimension i for which r_i = 1.
+//
+// The returned mask has bit i set for each permitted dimension.
+func PCubeMinimalSteps(c, d Addr, n int) Addr {
+	mask := Addr(1)<<uint(n) - 1
+	if c == d {
+		return 0
+	}
+	r := c &^ d & mask
+	if r == 0 {
+		r = ^c & d & mask
+	}
+	return r
+}
+
+// PCubeNonminimalSteps computes the routable dimensions of the
+// nonminimal p-cube algorithm (Figure 12). The phase flag p is 1 while
+// the packet is still in its first (descending) phase; it depends on
+// which input buffer the header flits occupy in a hardware router, and
+// here is passed explicitly:
+//
+//  1. If C = D, route to the local processor.
+//  2. R = C AND (NOT D).
+//  3. If p = 1, R = R OR (C AND D)   (may also descend unprofitably).
+//  4. If R = 0, then R = (NOT C) AND D.
+//  5. Route along any dimension i for which r_i = 1.
+//
+// In the first phase the packet may thus route along any dimension whose
+// current bit is 1, profitable or not; descending moves are exactly the
+// negative directions of the negative-first algorithm, so deadlock
+// freedom is preserved (Theorem 5) and livelock freedom follows from the
+// strictly increasing channel numbering.
+func PCubeNonminimalSteps(c, d Addr, n int, phase1 bool) Addr {
+	mask := Addr(1)<<uint(n) - 1
+	if c == d {
+		return 0
+	}
+	r := c &^ d & mask
+	if phase1 {
+		r |= c & d & mask
+	}
+	if r == 0 {
+		r = ^c & d & mask
+	}
+	return r
+}
+
+// PCube is the minimal p-cube algorithm implemented with the bitwise
+// steps of Figure 11. Its routing relation equals NegativeFirst on the
+// same hypercube.
+type PCube struct{ base }
+
+// NewPCube returns minimal p-cube routing on hypercube t.
+func NewPCube(t *topology.Topology) *PCube {
+	if !t.IsHypercube() {
+		panic("routing: p-cube requires a hypercube")
+	}
+	if t.NumDims() > 64 {
+		panic("routing: p-cube supports at most 64 dimensions")
+	}
+	return &PCube{base{topo: t, name: "p-cube"}}
+}
+
+// Candidates implements Algorithm.
+func (a *PCube) Candidates(cur, dst topology.NodeID, _ InPort, buf []topology.Direction) []topology.Direction {
+	a.checkDistinct(cur, dst)
+	n := a.topo.NumDims()
+	c, d := AddrOf(cur), AddrOf(dst)
+	r := PCubeMinimalSteps(c, d, n)
+	descending := c&^d != 0
+	for m := r; m != 0; m &= m - 1 {
+		dim := bits.TrailingZeros64(uint64(m))
+		// Moving along dim flips bit dim of c: 1->0 is the negative
+		// direction, 0->1 positive.
+		buf = append(buf, topology.Direction{Dim: dim, Pos: !descending})
+	}
+	return buf
+}
+
+// NumShortestPCube returns the number of shortest paths the p-cube
+// algorithm allows from src to dst: h1! * h0!, where h1 = |src AND dst..|
+// — precisely, h1 counts dimensions routed in phase 1 (bits 1 in src and
+// 0 in dst) and h0 those routed in phase 2 (bits 0 in src, 1 in dst)
+// (Section 5).
+func NumShortestPCube(src, dst Addr) int64 {
+	h1 := bits.OnesCount64(uint64(src &^ dst))
+	h0 := bits.OnesCount64(uint64(^src & dst))
+	return factorial(h1) * factorial(h0)
+}
+
+// NumShortestFullHypercube returns h! with h the Hamming distance, the
+// fully adaptive shortest-path count S_f of Section 5.
+func NumShortestFullHypercube(src, dst Addr) int64 {
+	return factorial(bits.OnesCount64(uint64(src ^ dst)))
+}
+
+func factorial(n int) int64 {
+	f := int64(1)
+	for i := 2; i <= n; i++ {
+		f *= int64(i)
+	}
+	return f
+}

@@ -1,0 +1,422 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"turnmodel/internal/core"
+	"turnmodel/internal/topology"
+)
+
+// allMeshAlgorithms returns every mesh algorithm under test on t.
+func allMeshAlgorithms(t *topology.Topology) []Algorithm {
+	algs := []Algorithm{
+		NewDimensionOrder(t),
+		NewNegativeFirst(t),
+		NewFullyAdaptive(t),
+	}
+	for d := 0; d < t.NumDims(); d++ {
+		algs = append(algs, NewABONF(t, d), NewABOPL(t, d))
+	}
+	if t.NumDims() == 2 {
+		algs = append(algs, NewWestFirst(t), NewNorthLast(t))
+	}
+	if t.IsHypercube() {
+		algs = append(algs, NewPCube(t))
+	}
+	return algs
+}
+
+// TestAllPairsDelivery exhaustively walks every source-destination pair
+// under every algorithm on several topologies: the walk must terminate
+// at the destination in exactly the minimal number of hops (all these
+// relations are minimal).
+func TestAllPairsDelivery(t *testing.T) {
+	tops := []*topology.Topology{
+		topology.NewMesh(5, 5),
+		topology.NewMesh(3, 4),
+		topology.NewMesh(3, 3, 3),
+		topology.NewHypercube(5),
+	}
+	for _, topo := range tops {
+		for _, alg := range allMeshAlgorithms(topo) {
+			for src := topology.NodeID(0); src < topology.NodeID(topo.Nodes()); src++ {
+				for dst := topology.NodeID(0); dst < topology.NodeID(topo.Nodes()); dst++ {
+					if src == dst {
+						continue
+					}
+					path, err := Walk(alg, src, dst, nil)
+					if err != nil {
+						t.Fatalf("%s on %v: %v", alg.Name(), topo, err)
+					}
+					if path[len(path)-1] != dst {
+						t.Fatalf("%s on %v: walk %d->%d ended at %d", alg.Name(), topo, src, dst, path[len(path)-1])
+					}
+					if got, want := len(path)-1, topo.Distance(src, dst); got != want {
+						t.Fatalf("%s on %v: walk %d->%d took %d hops, want %d", alg.Name(), topo, src, dst, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeliveryProperty16x16 samples random pairs on the paper's 16x16
+// mesh and checks minimal delivery under every algorithm and random
+// selection among candidates.
+func TestDeliveryProperty16x16(t *testing.T) {
+	topo := topology.NewMesh(16, 16)
+	rng := rand.New(rand.NewSource(3))
+	randomSel := func(_, _ topology.NodeID, cands []topology.Direction) topology.Direction {
+		return cands[rng.Intn(len(cands))]
+	}
+	for _, alg := range allMeshAlgorithms(topo) {
+		f := func(a, b uint16) bool {
+			src := topology.NodeID(int(a) % topo.Nodes())
+			dst := topology.NodeID(int(b) % topo.Nodes())
+			if src == dst {
+				return true
+			}
+			path, err := Walk(alg, src, dst, randomSel)
+			return err == nil && len(path)-1 == topo.Distance(src, dst)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", alg.Name(), err)
+		}
+	}
+}
+
+// TestCandidatesRespectTurnSets verifies that every transition a phase
+// algorithm offers along minimal walks is allowed by its published turn
+// set (Figures 5a, 9a, 10a).
+func TestCandidatesRespectTurnSets(t *testing.T) {
+	topo := topology.NewMesh(6, 6)
+	cases := []struct {
+		alg Algorithm
+		set *core.Set
+	}{
+		{NewWestFirst(topo), core.WestFirstSet()},
+		{NewNorthLast(topo), core.NorthLastSet()},
+		{NewNegativeFirst(topo), core.NegativeFirstSet(2)},
+		{NewDimensionOrder(topo), core.DimensionOrderSet(2)},
+	}
+	// Check every feasible (in, out) transition: enumerate the states a
+	// packet can actually be in by following the relation from injection
+	// (infeasible arrival/destination combinations never arise in a
+	// network and carry no turn-set obligation).
+	for _, c := range cases {
+		for src := topology.NodeID(0); src < topology.NodeID(topo.Nodes()); src++ {
+			for dst := topology.NodeID(0); dst < topology.NodeID(topo.Nodes()); dst++ {
+				if src == dst {
+					continue
+				}
+				type state struct {
+					node topology.NodeID
+					in   topology.Direction
+				}
+				seen := map[state]bool{}
+				var visit func(cur topology.NodeID, in InPort)
+				visit = func(cur topology.NodeID, in InPort) {
+					if cur == dst {
+						return
+					}
+					for _, out := range CandidateList(c.alg, cur, dst, in) {
+						if !in.Injected {
+							turn := core.Turn{From: in.Dir, To: out}
+							switch core.TurnDegree(turn) {
+							case core.Deg90:
+								if !c.set.Allowed(turn) {
+									t.Fatalf("%s offers prohibited turn %v at node %d for dst %d", c.alg.Name(), turn, cur, dst)
+								}
+							case core.Deg180:
+								t.Fatalf("%s offers a 180-degree turn at node %d", c.alg.Name(), cur)
+							}
+						}
+						next, ok := topo.Neighbor(cur, out)
+						if !ok {
+							t.Fatalf("%s offered nonexistent channel %v at %d", c.alg.Name(), out, cur)
+						}
+						s := state{next, out}
+						if !seen[s] {
+							seen[s] = true
+							visit(next, Arrived(out))
+						}
+					}
+				}
+				visit(src, Injected)
+			}
+		}
+	}
+}
+
+// TestNegativeFirstPhaseInvariant: along any negative-first walk, no
+// positive move ever precedes a negative move.
+func TestNegativeFirstPhaseInvariant(t *testing.T) {
+	topo := topology.NewMesh(7, 7)
+	alg := NewNegativeFirst(topo)
+	rng := rand.New(rand.NewSource(4))
+	sel := func(_, _ topology.NodeID, cands []topology.Direction) topology.Direction {
+		return cands[rng.Intn(len(cands))]
+	}
+	for trial := 0; trial < 500; trial++ {
+		src := topology.NodeID(rng.Intn(topo.Nodes()))
+		dst := topology.NodeID(rng.Intn(topo.Nodes()))
+		if src == dst {
+			continue
+		}
+		path, err := Walk(alg, src, dst, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seenPositive := false
+		for i := 1; i < len(path); i++ {
+			delta := int(path[i]) - int(path[i-1])
+			if delta > 0 {
+				seenPositive = true
+			} else if seenPositive {
+				t.Fatalf("negative move after positive move on path %v", path)
+			}
+		}
+	}
+}
+
+// TestWestFirstGoesWestFirst: every westward hop precedes all others.
+func TestWestFirstGoesWestFirst(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	alg := NewWestFirst(topo)
+	rng := rand.New(rand.NewSource(5))
+	sel := func(_, _ topology.NodeID, cands []topology.Direction) topology.Direction {
+		return cands[rng.Intn(len(cands))]
+	}
+	for trial := 0; trial < 500; trial++ {
+		src := topology.NodeID(rng.Intn(topo.Nodes()))
+		dst := topology.NodeID(rng.Intn(topo.Nodes()))
+		if src == dst {
+			continue
+		}
+		path, err := Walk(alg, src, dst, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonWest := false
+		for i := 1; i < len(path); i++ {
+			isWest := topo.CoordOf(path[i], 0) == topo.CoordOf(path[i-1], 0)-1
+			if !isWest {
+				nonWest = true
+			} else if nonWest {
+				t.Fatalf("westward move after non-west move on path %v", path)
+			}
+		}
+	}
+}
+
+// TestNorthLastGoesNorthLast: once a packet moves north it only moves
+// north.
+func TestNorthLastGoesNorthLast(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	alg := NewNorthLast(topo)
+	rng := rand.New(rand.NewSource(6))
+	sel := func(_, _ topology.NodeID, cands []topology.Direction) topology.Direction {
+		return cands[rng.Intn(len(cands))]
+	}
+	for trial := 0; trial < 500; trial++ {
+		src := topology.NodeID(rng.Intn(topo.Nodes()))
+		dst := topology.NodeID(rng.Intn(topo.Nodes()))
+		if src == dst {
+			continue
+		}
+		path, err := Walk(alg, src, dst, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goneNorth := false
+		for i := 1; i < len(path); i++ {
+			isNorth := topo.CoordOf(path[i], 1) == topo.CoordOf(path[i-1], 1)+1
+			if isNorth {
+				goneNorth = true
+			} else if goneNorth {
+				t.Fatalf("non-north move after north move on path %v", path)
+			}
+		}
+	}
+}
+
+// TestDimensionOrderDeterministic: xy/e-cube offers exactly one
+// candidate everywhere and resolves dimensions in ascending order.
+func TestDimensionOrderDeterministic(t *testing.T) {
+	for _, topo := range []*topology.Topology{topology.NewMesh(6, 6), topology.NewHypercube(5)} {
+		alg := NewDimensionOrder(topo)
+		for src := topology.NodeID(0); src < topology.NodeID(topo.Nodes()); src++ {
+			for dst := topology.NodeID(0); dst < topology.NodeID(topo.Nodes()); dst++ {
+				if src == dst {
+					continue
+				}
+				cands := CandidateList(alg, src, dst, Injected)
+				if len(cands) != 1 {
+					t.Fatalf("dimension-order offered %d candidates", len(cands))
+				}
+				for dim := 0; dim < cands[0].Dim; dim++ {
+					if topo.Delta(src, dst, dim) != 0 {
+						t.Fatalf("dimension-order skipped unresolved dimension %d", dim)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPCubeEqualsNegativeFirst: the bitwise Figure 11 implementation and
+// the phase-based negative-first relation agree on every state of a
+// hypercube.
+func TestPCubeEqualsNegativeFirst(t *testing.T) {
+	topo := topology.NewHypercube(6)
+	pc := NewPCube(topo)
+	nf := NewNegativeFirst(topo)
+	for src := topology.NodeID(0); src < topology.NodeID(topo.Nodes()); src++ {
+		for dst := topology.NodeID(0); dst < topology.NodeID(topo.Nodes()); dst++ {
+			if src == dst {
+				continue
+			}
+			a := CandidateList(pc, src, dst, Injected)
+			b := CandidateList(nf, src, dst, Injected)
+			if len(a) != len(b) {
+				t.Fatalf("candidate counts differ at %d->%d: %v vs %v", src, dst, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("candidates differ at %d->%d: %v vs %v", src, dst, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestPCubeBitwiseSteps checks the Figure 11/12 step computations
+// against the Section 5 example.
+func TestPCubeMinimalBitwise(t *testing.T) {
+	c := Addr(0b1011010100)
+	d := Addr(0b0010111001)
+	r := PCubeMinimalSteps(c, d, 10)
+	if r != 0b1001000100 {
+		t.Errorf("phase-1 mask = %010b, want 1001000100", uint(r))
+	}
+	// After all descending moves: phase 2.
+	c2 := Addr(0b0010010000)
+	r2 := PCubeMinimalSteps(c2, d, 10)
+	if r2 != 0b0000101001 {
+		t.Errorf("phase-2 mask = %010b, want 0000101001", uint(r2))
+	}
+	if PCubeMinimalSteps(d, d, 10) != 0 {
+		t.Error("at destination the mask must be 0")
+	}
+}
+
+func TestPCubeNonminimalBitwise(t *testing.T) {
+	c := Addr(0b1011010100)
+	d := Addr(0b0010111001)
+	// Figure 12: in phase 1 the packet may also route along any
+	// dimension with c_i = 1 and d_i = 1.
+	r := PCubeNonminimalSteps(c, d, 10, true)
+	if r != (0b1001000100 | 0b0010010000) {
+		t.Errorf("nonminimal phase-1 mask = %010b", uint(r))
+	}
+	// Out of phase 1 the extra moves disappear.
+	r2 := PCubeNonminimalSteps(c, d, 10, false)
+	if r2 != 0b1001000100 {
+		t.Errorf("nonminimal phase-2 mask = %010b", uint(r2))
+	}
+}
+
+func TestNumShortestPCube(t *testing.T) {
+	src := Addr(0b1011010100)
+	dst := Addr(0b0010111001)
+	if got := NumShortestPCube(src, dst); got != 36 {
+		t.Errorf("S_p-cube = %d, want 36 (3!*3!)", got)
+	}
+	if got := NumShortestFullHypercube(src, dst); got != 720 {
+		t.Errorf("S_f = %d, want 720 (6!)", got)
+	}
+	if got := NumShortestPCube(5, 5); got != 1 {
+		t.Errorf("S_p-cube(self) = %d, want 1", got)
+	}
+}
+
+// TestCandidateOrdering: candidates must arrive in ascending dimension
+// order with negative before positive (the contract deterministic
+// policies rely on).
+func TestCandidateOrdering(t *testing.T) {
+	topo := topology.NewMesh(4, 4, 4)
+	rng := rand.New(rand.NewSource(7))
+	for _, alg := range allMeshAlgorithms(topo) {
+		for trial := 0; trial < 200; trial++ {
+			src := topology.NodeID(rng.Intn(topo.Nodes()))
+			dst := topology.NodeID(rng.Intn(topo.Nodes()))
+			if src == dst {
+				continue
+			}
+			cands := CandidateList(alg, src, dst, Injected)
+			for i := 1; i < len(cands); i++ {
+				if cands[i-1].Index() >= cands[i].Index() {
+					t.Fatalf("%s: candidates out of order: %v", alg.Name(), cands)
+				}
+			}
+		}
+	}
+}
+
+// TestRouteToSelfPanics: algorithms must not be asked to route a packet
+// already at its destination.
+func TestRouteToSelfPanics(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for cur == dst")
+		}
+	}()
+	NewWestFirst(topo).Candidates(3, 3, Injected, nil)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	mesh3 := topology.NewMesh(3, 3, 3)
+	for name, fn := range map[string]func(){
+		"west-first 3D":   func() { NewWestFirst(mesh3) },
+		"north-last 3D":   func() { NewNorthLast(mesh3) },
+		"abonf range":     func() { NewABONF(mesh3, 3) },
+		"abopl range":     func() { NewABOPL(mesh3, -1) },
+		"pcube non-cube":  func() { NewPCube(topology.NewMesh(4, 4)) },
+		"nf-torus mesh":   func() { NewNegativeFirstTorus(topology.NewMesh(4, 4)) },
+		"wrap-first mesh": func() { NewWrapFirstHop(NewNegativeFirst(topology.NewMesh(4, 4))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	mesh := topology.NewMesh(8, 8)
+	cube := topology.NewHypercube(6)
+	cases := map[string]Algorithm{
+		"xy":             NewDimensionOrder(mesh),
+		"e-cube":         NewDimensionOrder(cube),
+		"west-first":     NewWestFirst(mesh),
+		"north-last":     NewNorthLast(mesh),
+		"negative-first": NewNegativeFirst(mesh),
+		"p-cube":         NewNegativeFirst(cube),
+		"fully-adaptive": NewFullyAdaptive(mesh),
+	}
+	for want, alg := range cases {
+		if alg.Name() != want {
+			t.Errorf("Name() = %q, want %q", alg.Name(), want)
+		}
+		if alg.Topology() == nil {
+			t.Errorf("%s: nil topology", want)
+		}
+	}
+}

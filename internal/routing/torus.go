@@ -1,0 +1,127 @@
+package routing
+
+import (
+	"fmt"
+
+	"turnmodel/internal/topology"
+)
+
+// This file implements the two k-ary n-cube extensions of Section 4.2:
+// allowing a wraparound channel only on a packet's first hop, and the
+// negative-first algorithm with wraparound channels classified by the
+// direction in which they route packets.
+
+// WrapFirstHop extends a mesh routing algorithm to a k-ary n-cube by
+// permitting wraparound channels only on a packet's first hop
+// (Section 4.2). After a first-hop wraparound (or immediately, if none
+// is taken) the packet is routed by the inner mesh algorithm over the
+// mesh sub-network.
+//
+// Deadlock freedom: wraparound channels are used only directly from
+// injection, so no network channel ever waits on one; assigning them
+// numbers above (or below) all mesh channel numbers preserves the inner
+// algorithm's strictly monotone numbering.
+type WrapFirstHop struct {
+	base
+	inner Algorithm
+}
+
+// NewWrapFirstHop wraps inner, whose topology must be a torus with at
+// least one wrapping dimension.
+func NewWrapFirstHop(inner Algorithm) *WrapFirstHop {
+	t := inner.Topology()
+	if t.Kind() != topology.KindTorus {
+		panic("routing: WrapFirstHop requires a torus topology")
+	}
+	return &WrapFirstHop{
+		base:  base{topo: t, name: fmt.Sprintf("wrap-first-hop(%s)", inner.Name())},
+		inner: inner,
+	}
+}
+
+// Inner returns the wrapped mesh algorithm.
+func (a *WrapFirstHop) Inner() Algorithm { return a.inner }
+
+// Candidates implements Algorithm. On the first hop it offers, before
+// the inner algorithm's candidates, every wraparound channel that lies
+// on a shortest torus path to the destination; a wraparound is only
+// offered when it is strictly shorter than the mesh route, so listing it
+// first makes deterministic first-candidate policies take the shortcut.
+func (a *WrapFirstHop) Candidates(cur, dst topology.NodeID, in InPort, buf []topology.Direction) []topology.Direction {
+	a.checkDistinct(cur, dst)
+	if in.Injected {
+		for dim := 0; dim < a.topo.NumDims(); dim++ {
+			mesh := a.topo.Delta(cur, dst, dim)
+			min := a.topo.MinDelta(cur, dst, dim)
+			if mesh == min {
+				continue // the wraparound is not on a shortest path in this dimension
+			}
+			d := topology.Direction{Dim: dim, Pos: min > 0}
+			if a.topo.IsWraparound(topology.Channel{From: cur, Dir: d}) {
+				buf = append(buf, d)
+			}
+		}
+	}
+	return a.inner.Candidates(cur, dst, in, buf)
+}
+
+// NegativeFirstTorus is the negative-first algorithm extended to k-ary
+// n-cubes by classifying each wraparound channel according to the
+// direction in which it routes packets (Section 4.2): the wraparound
+// channel from the high edge (x_i = k-1) to the low edge (x_i = 0) moves
+// packets to a lower coordinate and so is classified as a negative
+// ("west") channel, and the one from the low edge to the high edge as a
+// positive channel. A node at the east edge thus has two channels to the
+// west: the mesh channel to its immediate western neighbor and the
+// wraparound channel to the west edge.
+//
+// The algorithm routes first adaptively along negatively classified
+// channels in dimensions whose coordinate exceeds the destination's,
+// then adaptively along positive mesh channels. As the paper notes, the
+// resulting routing is strictly nonminimal: a packet may take the
+// wraparound even when the direct mesh path is shorter.
+type NegativeFirstTorus struct{ base }
+
+// NewNegativeFirstTorus returns classified-wraparound negative-first
+// routing on torus t.
+func NewNegativeFirstTorus(t *topology.Topology) *NegativeFirstTorus {
+	if t.Kind() != topology.KindTorus {
+		panic("routing: NegativeFirstTorus requires a torus topology")
+	}
+	return &NegativeFirstTorus{base{topo: t, name: "negative-first-torus"}}
+}
+
+// Candidates implements Algorithm. Phase 1 (some coordinate exceeds the
+// destination's): all negatively classified channels in such dimensions,
+// including the high-to-low wraparound. Phase 2: positive mesh channels
+// toward the destination. Every phase-1 move strictly decreases the
+// coordinate sum, so routing terminates.
+func (a *NegativeFirstTorus) Candidates(cur, dst topology.NodeID, _ InPort, buf []topology.Direction) []topology.Direction {
+	a.checkDistinct(cur, dst)
+	start := len(buf)
+	for dim := 0; dim < a.topo.NumDims(); dim++ {
+		if a.topo.Delta(cur, dst, dim) >= 0 {
+			continue
+		}
+		// The mesh channel one step down is always present when the
+		// coordinate is positive, which it is (it exceeds dst's, which
+		// is at least 0). In dimensions of length 2 there is no distinct
+		// wraparound; the single channel is the mesh channel.
+		buf = append(buf, topology.Direction{Dim: dim})
+		down := topology.Channel{From: cur, Dir: topology.Direction{Dim: dim, Pos: true}}
+		if a.topo.IsWraparound(down) {
+			// At the high edge the physically positive channel wraps to
+			// coordinate 0 and is classified negative.
+			buf = append(buf, down.Dir)
+		}
+	}
+	if len(buf) > start {
+		return buf
+	}
+	for dim := 0; dim < a.topo.NumDims(); dim++ {
+		if a.topo.Delta(cur, dst, dim) > 0 {
+			buf = append(buf, topology.Direction{Dim: dim, Pos: true})
+		}
+	}
+	return buf
+}

@@ -1,0 +1,192 @@
+package routing
+
+import (
+	"fmt"
+	"sync"
+
+	"turnmodel/internal/core"
+	"turnmodel/internal/topology"
+)
+
+// TurnGraphRouting is the routing relation derived from an arbitrary
+// turn set, the general construction of the turn model (Section 2,
+// Steps 1-6): a packet that arrived travelling direction a may leave in
+// direction b exactly when the turn a->b is allowed by the set, the
+// channel exists and is not faulty, and the destination remains
+// reachable afterward without ever needing a prohibited turn.
+//
+// In minimal mode only shortest-path moves are offered; in nonminimal
+// mode any move that keeps the destination reachable is offered, which
+// is more adaptive and fault tolerant (Section 2). Reachability is
+// computed over the turn graph — nodes paired with arrival directions —
+// and honors disabled channels, so the relation routes around faults
+// when the turn set permits.
+type TurnGraphRouting struct {
+	base
+	set     *core.Set
+	minimal bool
+
+	mu sync.Mutex
+	// reach[dst] maps arrival states to reachability of dst. States are
+	// indexed node*(2n+1) + dirIndex, with dirIndex 2n meaning "injected".
+	reach map[topology.NodeID][]bool
+	// reachEpoch is the topology fault epoch the cache was built at;
+	// fault changes invalidate the cache.
+	reachEpoch int
+}
+
+// NewTurnGraphRouting returns the routing relation induced by set on
+// mesh (or torus) t. The set's dimensionality must match the topology's.
+func NewTurnGraphRouting(t *topology.Topology, set *core.Set, minimal bool) *TurnGraphRouting {
+	if set.Dims() != t.NumDims() {
+		panic(fmt.Sprintf("routing: turn set has %d dims, topology has %d", set.Dims(), t.NumDims()))
+	}
+	mode := "nonminimal"
+	if minimal {
+		mode = "minimal"
+	}
+	return &TurnGraphRouting{
+		base:    base{topo: t, name: fmt.Sprintf("turns(%s,%s)", set.Name(), mode)},
+		set:     set,
+		minimal: minimal,
+		reach:   make(map[topology.NodeID][]bool),
+	}
+}
+
+// Set returns the turn set defining the relation.
+func (a *TurnGraphRouting) Set() *core.Set { return a.set }
+
+// Minimal reports whether the relation is restricted to shortest paths.
+func (a *TurnGraphRouting) Minimal() bool { return a.minimal }
+
+func (a *TurnGraphRouting) stateIndex(node topology.NodeID, in InPort) int {
+	w := 2*a.topo.NumDims() + 1
+	if in.Injected {
+		return int(node)*w + w - 1
+	}
+	return int(node)*w + in.Dir.Index()
+}
+
+// reachable reports whether a packet at cur that arrived via in can
+// still reach dst using only allowed turns over enabled channels
+// (and, in minimal mode, only shortest-path moves).
+func (a *TurnGraphRouting) reachable(dst topology.NodeID) []bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e := a.topo.FaultEpoch(); e != a.reachEpoch {
+		a.reach = make(map[topology.NodeID][]bool)
+		a.reachEpoch = e
+	}
+	if r, ok := a.reach[dst]; ok {
+		return r
+	}
+	r := a.compute(dst)
+	a.reach[dst] = r
+	return r
+}
+
+// compute runs a reverse traversal from dst over the state graph
+// (node, arrival direction). State (v, d) can reach dst if v == dst, or
+// some allowed move from (v, d) leads to a state that can.
+//
+// In nonminimal mode the state graph may contain cycles, so a reverse
+// BFS from the accepting states is used. In minimal mode moves strictly
+// decrease the distance to dst, so the same traversal terminates
+// trivially.
+func (a *TurnGraphRouting) compute(dst topology.NodeID) []bool {
+	t := a.topo
+	w := 2*t.NumDims() + 1
+	r := make([]bool, t.Nodes()*w)
+	// Accepting states: any arrival state at dst.
+	queue := make([]int, 0, w)
+	for i := 0; i < w; i++ {
+		r[int(dst)*w+i] = true
+	}
+	// Reverse edges: state (u, d_in) -> (v, d) where v = u + move d.
+	// We search backward: seed with dst states and propagate to
+	// predecessors. Predecessor of (v, d): any (u, d_in) with
+	// neighbor(u, d) == v, turn d_in->d allowed (or u injected), channel
+	// (u, d) enabled, and in minimal mode distance(u) == distance(v)+1.
+	for i := 0; i < w; i++ {
+		queue = append(queue, int(dst)*w+i)
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		v := topology.NodeID(s / w)
+		di := s % w
+		if di == w-1 {
+			continue // injected states have no incoming moves
+		}
+		d := topology.DirectionFromIndex(di)
+		// The packet arrived at v travelling d, so it came from the
+		// neighbor of v in the opposite direction... except across
+		// wraparounds, where Neighbor handles the modular arithmetic.
+		u, ok := t.Neighbor(v, d.Opposite())
+		if !ok {
+			continue
+		}
+		ch := topology.Channel{From: u, Dir: d}
+		// Careful with tori: the channel from u travelling d must lead
+		// to v. On a two-node ring both directions lead to the same
+		// neighbor and this holds automatically.
+		if !t.Enabled(ch) || t.ChannelTo(ch) != v {
+			continue
+		}
+		if a.minimal && t.Distance(u, dst) != t.Distance(v, dst)+1 {
+			continue
+		}
+		for pi := 0; pi < w; pi++ {
+			ps := int(u)*w + pi
+			if r[ps] {
+				continue
+			}
+			if pi < w-1 {
+				in := topology.DirectionFromIndex(pi)
+				if !a.set.Allowed(core.Turn{From: in, To: d}) {
+					continue
+				}
+			}
+			r[ps] = true
+			queue = append(queue, ps)
+		}
+	}
+	return r
+}
+
+// CanRoute reports whether the relation can deliver a packet injected at
+// src to dst at all. A turn set that breaks connectivity (possible for
+// prohibitions beyond one per cycle, or for the deadlocking reverse
+// pairs in minimal mode) yields false for some pairs.
+func (a *TurnGraphRouting) CanRoute(src, dst topology.NodeID) bool {
+	if src == dst {
+		return true
+	}
+	return a.reachable(dst)[a.stateIndex(src, Injected)]
+}
+
+// Candidates implements Algorithm.
+func (a *TurnGraphRouting) Candidates(cur, dst topology.NodeID, in InPort, buf []topology.Direction) []topology.Direction {
+	a.checkDistinct(cur, dst)
+	t := a.topo
+	reach := a.reachable(dst)
+	for i := 0; i < 2*t.NumDims(); i++ {
+		d := topology.DirectionFromIndex(i)
+		if !in.Injected && !a.set.Allowed(core.Turn{From: in.Dir, To: d}) {
+			continue
+		}
+		ch := topology.Channel{From: cur, Dir: d}
+		if !t.Enabled(ch) {
+			continue
+		}
+		next := t.ChannelTo(ch)
+		if a.minimal && t.Distance(next, dst) != t.Distance(cur, dst)-1 {
+			continue
+		}
+		if next != dst && !reach[a.stateIndex(next, Arrived(d))] {
+			continue
+		}
+		buf = append(buf, d)
+	}
+	return buf
+}

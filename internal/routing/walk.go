@@ -1,0 +1,88 @@
+package routing
+
+import (
+	"fmt"
+
+	"turnmodel/internal/topology"
+)
+
+// Selector chooses one output direction among an algorithm's candidates.
+// It is the "output selection policy" of Section 6 applied outside the
+// simulator, e.g. for path tracing.
+type Selector func(cur, dst topology.NodeID, cands []topology.Direction) topology.Direction
+
+// LowestDimensionSelector is the paper's "xy" output selection policy:
+// prefer the candidate along the lowest dimension, negative before
+// positive. Candidates are already emitted in that order, so it simply
+// returns the first.
+func LowestDimensionSelector(_, _ topology.NodeID, cands []topology.Direction) topology.Direction {
+	return cands[0]
+}
+
+// GreedySelector prefers profitable candidates (those reducing the
+// distance to the destination), falling back to the first candidate.
+// Useful when walking nonminimal relations.
+func GreedySelector(t *topology.Topology) Selector {
+	return func(cur, dst topology.NodeID, cands []topology.Direction) topology.Direction {
+		base := t.Distance(cur, dst)
+		for _, d := range cands {
+			if next, ok := t.Neighbor(cur, d); ok && t.Distance(next, dst) < base {
+				return d
+			}
+		}
+		return cands[0]
+	}
+}
+
+// Walk routes a single packet from src to dst with alg, selecting one
+// candidate per hop with sel (LowestDimensionSelector if nil), and
+// returns the sequence of nodes visited, src first and dst last.
+//
+// Walk enforces the hop bound that makes turn-model routing livelock
+// free: because every algorithm here routes along channels in strictly
+// monotone numbering order, a packet can traverse each channel at most
+// once, so a walk longer than the number of channels indicates a broken
+// relation and returns an error. An error is also returned if the
+// relation offers no candidates before reaching dst.
+func Walk(alg Algorithm, src, dst topology.NodeID, sel Selector) ([]topology.NodeID, error) {
+	if sel == nil {
+		sel = LowestDimensionSelector
+	}
+	t := alg.Topology()
+	path := []topology.NodeID{src}
+	cur, in := src, Injected
+	maxHops := t.NumChannelIDs() + 1
+	var buf []topology.Direction
+	for cur != dst {
+		if len(path) > maxHops {
+			return path, fmt.Errorf("routing: %s walk from %d to %d exceeded %d hops (livelock?)",
+				alg.Name(), src, dst, maxHops)
+		}
+		buf = alg.Candidates(cur, dst, in, buf[:0])
+		if len(buf) == 0 {
+			return path, fmt.Errorf("routing: %s has no candidates at node %d (in %v) for destination %d",
+				alg.Name(), cur, in, dst)
+		}
+		d := sel(cur, dst, buf)
+		next, ok := t.Neighbor(cur, d)
+		if !ok {
+			return path, fmt.Errorf("routing: %s chose nonexistent channel %v at node %d", alg.Name(), d, cur)
+		}
+		cur, in = next, Arrived(d)
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// FormatPath renders a node path with coordinates, in the style of the
+// example-path figures (5b, 9b, 10b).
+func FormatPath(t *topology.Topology, path []topology.NodeID) string {
+	s := ""
+	for i, id := range path {
+		if i > 0 {
+			s += " -> "
+		}
+		s += fmt.Sprintf("%v", []int(t.Coord(id)))
+	}
+	return s
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+// TestRouterDelayAddsPerHopLatency: an uncontended packet pays the
+// configured route-computation delay at every router it enters.
+func TestRouterDelayAddsPerHopLatency(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	src := topo.ID(topology.Coord{0, 0})
+	dst := topo.ID(topology.Coord{6, 0})
+	lat := func(delay int64) int64 {
+		e, err := New(Config{
+			Algorithm:   routing.NewDimensionOrder(topo),
+			Script:      []ScriptedMessage{{Cycle: 0, Src: src, Dst: dst, Length: 10}},
+			RouterDelay: delay,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got int64
+		e.onDeliver = func(p *packet) { got = p.deliverCycle - p.genCycle }
+		if res := e.run(); res.Deadlocked {
+			t.Fatal("deadlock")
+		}
+		return got
+	}
+	base := lat(0)
+	delayed := lat(2)
+	// The head visits 7 routers (6 network hops + the destination) plus
+	// the injection decision: 2 extra cycles at each.
+	extra := delayed - base
+	if extra < 12 || extra > 16 {
+		t.Errorf("router delay 2 added %d cycles over %d hops, want about 14", extra, 6)
+	}
+}
+
+// TestRouterDelayAblation: Section 7's caveat quantified — if adaptive
+// routers pay extra node delay, their advantage shrinks but survives on
+// transpose traffic at moderate load.
+func TestRouterDelayAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	topo := topology.NewMesh(16, 16)
+	run := func(alg routing.Algorithm, delay int64) Result {
+		res, err := Run(Config{
+			Algorithm: alg, Pattern: traffic.NewMeshTranspose(topo),
+			OfferedLoad: 1.5, WarmupCycles: 3000, MeasureCycles: 10000,
+			Seed: 61, RouterDelay: delay,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	xy := run(routing.NewDimensionOrder(topo), 0)
+	nfSlow := run(routing.NewNegativeFirst(topo), 1)
+	if nfSlow.AvgLatency > xy.AvgLatency*1.5 {
+		t.Errorf("negative-first with +1 cycle node delay should stay competitive on transpose: nf=%.2f xy=%.2f",
+			nfSlow.AvgLatency, xy.AvgLatency)
+	}
+}
+
+// TestChannelUtilizationReporting: the hottest channel is a real network
+// channel with utilization in (0, 1].
+func TestChannelUtilizationReporting(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	res, err := Run(Config{
+		Algorithm:   routing.NewDimensionOrder(topo),
+		Pattern:     traffic.NewMeshTranspose(topo),
+		OfferedLoad: 1.5, WarmupCycles: 1000, MeasureCycles: 6000, Seed: 62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxChannelUtilization <= 0 || res.MaxChannelUtilization > 1 {
+		t.Errorf("utilization %v out of (0,1]", res.MaxChannelUtilization)
+	}
+	if !topo.HasChannel(res.HottestChannel.From, res.HottestChannel.Dir) {
+		t.Errorf("hottest channel %v does not exist", res.HottestChannel)
+	}
+	// At saturation the hottest channel approaches full utilization.
+	sat, err := Run(Config{
+		Algorithm:   routing.NewDimensionOrder(topo),
+		Pattern:     traffic.NewMeshTranspose(topo),
+		OfferedLoad: 6, WarmupCycles: 1000, MeasureCycles: 6000, Seed: 62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.MaxChannelUtilization < 0.8 {
+		t.Errorf("saturated hottest channel at %.2f utilization, want near 1", sat.MaxChannelUtilization)
+	}
+}

@@ -1,0 +1,700 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/stats"
+	"turnmodel/internal/topology"
+)
+
+// packet is an in-flight message. The paper divides messages into
+// packets and packets into flits; as in its experiments every message is
+// a single packet.
+type packet struct {
+	id     int64
+	src    topology.NodeID
+	dst    topology.NodeID
+	length int
+	// firstDir restricts the first hop (scripted scenarios only).
+	firstDir *topology.Direction
+
+	genCycle     int64 // message created at the source processor
+	injectCycle  int64 // header flit entered the source router
+	deliverCycle int64 // tail flit consumed at the destination
+
+	flitsSent      int // flits that have left the source queue
+	flitsDelivered int
+	hops           int // network channels traversed by the header
+}
+
+// flit is one flow control digit.
+type flit struct {
+	p    *packet
+	head bool
+	tail bool
+}
+
+// inbuf is the buffer of one router input channel (one per virtual
+// channel of each physical input, plus the injection channel).
+type inbuf struct {
+	q []flit
+	// allocOut is the global output index held by the packet currently
+	// flowing through this input, or -1.
+	allocOut int32
+	// headArrival is the cycle the current header flit arrived, the key
+	// of the local first-come-first-served input selection policy.
+	headArrival int64
+}
+
+// Engine runs one simulation. Construct with New, then call Run.
+//
+// Port layout: each router has 2n physical network directions with vcs
+// virtual channels each, plus one injection input and one ejection
+// output. Virtual port index p encodes direction d and virtual channel
+// c as p = d.Index()*vcs + c; the injection/ejection port is the last
+// (index 2n*vcs). Each physical link (and the ejection channel) carries
+// at most one flit per cycle regardless of how many virtual channels
+// share it.
+type Engine struct {
+	cfg   Config
+	topo  *topology.Topology
+	alg   routing.VCAlgorithm
+	rng   *rand.Rand
+	vcs   int // virtual channels per physical direction
+	vport int // virtual ports per router: 2n*vcs + 1
+	nphys int // physical links per router incl. ejection: 2n + 1
+	depth int // effective input buffer capacity in flits
+
+	// Flat state, indexed router*vport+port unless noted.
+	inbufs   []inbuf
+	busyBy   []int32 // virtual output port -> input index holding it, or -1
+	linkUsed []bool  // physical link used this cycle, router*nphys+phys
+	outDest  []int32 // virtual output port -> downstream input index, -1 ejection
+	upOut    []int32 // input index -> upstream virtual output index, -1 injection
+
+	queues   [][]*packet // per-node source queues
+	nextGen  []float64   // per-node next generation time in cycles
+	genRate  float64     // messages per cycle per node
+	script   []ScriptedMessage
+	scriptAt int
+
+	cycle     int64
+	lastMove  int64
+	nextPktID int64
+	inFlight  int // packets generated but not yet fully delivered
+
+	// movement worklist
+	work    []int32
+	inWork  []bool
+	injUsed []bool // injection channel used this cycle, per injection input
+
+	// linkFlits counts flits carried per physical link during the
+	// measurement window, for utilization reporting.
+	linkFlits []int64
+
+	stats runStats
+
+	// onDeliver, when set (tests), observes every delivered packet.
+	onDeliver func(*packet)
+}
+
+type runStats struct {
+	measuring          bool
+	windowStart        int64
+	flitsDelivered     int64
+	packetsDelivered   int64
+	packetsGenerated   int64
+	flitsGenerated     int64
+	flitsGenMeasure    int64
+	sumLatency         float64 // cycles, generation -> tail delivery
+	sumNetLatency      float64 // cycles, injection -> tail delivery
+	sumHops            float64
+	maxLatency         float64
+	backlogStartFlits  int64
+	backlogStartValid  bool
+	totalDeliveredEver int64
+	latencies          *stats.Histogram
+}
+
+// New validates cfg and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	alg := c.vcAlgorithm()
+	t := alg.Topology()
+	vcs := alg.NumVCs()
+	if vcs < 1 {
+		return nil, fmt.Errorf("sim: algorithm reports %d virtual channels", vcs)
+	}
+	ndim2 := 2 * t.NumDims()
+	vport := ndim2*vcs + 1
+	if vport > 64 {
+		return nil, fmt.Errorf("sim: %d virtual ports per router exceeds the supported 64", vport)
+	}
+	n := t.Nodes()
+	e := &Engine{
+		cfg:       c,
+		topo:      t,
+		alg:       alg,
+		rng:       rand.New(rand.NewSource(c.Seed)),
+		vcs:       vcs,
+		vport:     vport,
+		nphys:     ndim2 + 1,
+		depth:     c.effectiveDepth(),
+		inbufs:    make([]inbuf, n*vport),
+		busyBy:    make([]int32, n*vport),
+		linkUsed:  make([]bool, n*(ndim2+1)),
+		linkFlits: make([]int64, n*(ndim2+1)),
+		outDest:   make([]int32, n*vport),
+		upOut:     make([]int32, n*vport),
+		queues:    make([][]*packet, n),
+		injUsed:   make([]bool, n*vport),
+		nextGen:   make([]float64, n),
+		inWork:    make([]bool, n*vport),
+		script:    c.Script,
+	}
+	for i := range e.busyBy {
+		e.busyBy[i] = -1
+		e.outDest[i] = -1
+		e.upOut[i] = -1
+		e.inbufs[i].allocOut = -1
+	}
+	for v := 0; v < n; v++ {
+		for di := 0; di < ndim2; di++ {
+			d := topology.DirectionFromIndex(di)
+			ch := topology.Channel{From: topology.NodeID(v), Dir: d}
+			if !t.HasChannel(ch.From, d) {
+				continue
+			}
+			to := t.ChannelTo(ch)
+			for vc := 0; vc < vcs; vc++ {
+				p := di*vcs + vc
+				out := int32(v*vport + p)
+				in := int32(int(to)*vport + p)
+				e.outDest[out] = in
+				e.upOut[in] = out
+			}
+		}
+	}
+	if e.script == nil {
+		// OfferedLoad flits/us/node = rate msgs/cycle * meanLen flits/msg
+		// * 20 cycles/us.
+		e.genRate = c.OfferedLoad / CyclesPerMicrosecond / c.MeanLength()
+		for v := range e.nextGen {
+			e.nextGen[v] = e.rng.ExpFloat64() / e.genRate
+		}
+	} else {
+		s := append([]ScriptedMessage(nil), e.script...)
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Cycle < s[j].Cycle })
+		e.script = s
+	}
+	return e, nil
+}
+
+// injectionIn returns the global input index of router v's injection
+// channel buffer; the same port index is the ejection output.
+func (e *Engine) injectionIn(v topology.NodeID) int32 { return int32(int(v)*e.vport + e.vport - 1) }
+
+// ejectionOut returns the global output index of router v's ejection
+// channel.
+func (e *Engine) ejectionOut(v topology.NodeID) int32 { return e.injectionIn(v) }
+
+// physIndex maps a global virtual output index to its physical link slot
+// in linkUsed.
+func (e *Engine) physIndex(out int32) int {
+	r := int(out) / e.vport
+	p := int(out) % e.vport
+	if p == e.vport-1 {
+		return r*e.nphys + e.nphys - 1 // ejection channel
+	}
+	return r*e.nphys + p/e.vcs
+}
+
+func (e *Engine) generate() {
+	if e.script != nil {
+		for e.scriptAt < len(e.script) && e.script[e.scriptAt].Cycle <= e.cycle {
+			m := e.script[e.scriptAt]
+			e.scriptAt++
+			p := &packet{
+				id: e.nextPktID, src: m.Src, dst: m.Dst, length: m.Length,
+				firstDir: m.FirstDir, genCycle: e.cycle,
+			}
+			e.nextPktID++
+			e.queues[m.Src] = append(e.queues[m.Src], p)
+			e.stats.packetsGenerated++
+			e.stats.flitsGenerated += int64(p.length)
+			e.inFlight++
+		}
+		return
+	}
+	now := float64(e.cycle)
+	for v := range e.queues {
+		for e.nextGen[v] <= now {
+			gen := e.nextGen[v]
+			e.nextGen[v] += e.rng.ExpFloat64() / e.genRate
+			src := topology.NodeID(v)
+			dst := e.cfg.Pattern.Dest(src, e.rng)
+			if dst == src {
+				continue // the pattern sends no traffic from this node
+			}
+			p := &packet{
+				id: e.nextPktID, src: src, dst: dst,
+				length:   e.drawLength(),
+				genCycle: int64(gen),
+			}
+			e.nextPktID++
+			e.queues[v] = append(e.queues[v], p)
+			e.stats.packetsGenerated++
+			e.stats.flitsGenerated += int64(p.length)
+			if e.stats.measuring {
+				e.stats.flitsGenMeasure += int64(p.length)
+			}
+			e.inFlight++
+		}
+	}
+}
+
+func (e *Engine) drawLength() int {
+	if len(e.cfg.Lengths) == 1 {
+		return e.cfg.Lengths[0]
+	}
+	var total float64
+	for _, w := range e.cfg.LengthWeights {
+		total += w
+	}
+	r := e.rng.Float64() * total
+	for i, w := range e.cfg.LengthWeights {
+		if r < w {
+			return e.cfg.Lengths[i]
+		}
+		r -= w
+	}
+	return e.cfg.Lengths[len(e.cfg.Lengths)-1]
+}
+
+// allocate runs the routing and output allocation phase: every waiting
+// header flit requests a virtual output channel; per router, headers are
+// served in the input selection policy's order and pick among the
+// still-free permitted outputs with the output selection policy.
+func (e *Engine) allocate() {
+	t := e.topo
+	var waiting [64]int32
+	var cands []routing.VirtualDirection
+	for v := 0; v < t.Nodes(); v++ {
+		base := v * e.vport
+		nw := 0
+		for p := 0; p < e.vport; p++ {
+			b := &e.inbufs[base+p]
+			if b.allocOut < 0 && len(b.q) > 0 && b.q[0].head &&
+				e.cycle-b.headArrival > e.cfg.RouterDelay {
+				waiting[nw] = int32(base + p)
+				nw++
+			}
+		}
+		if nw == 0 {
+			continue
+		}
+		w := waiting[:nw]
+		switch e.cfg.Input {
+		case LocalFCFS:
+			sort.SliceStable(w, func(i, j int) bool {
+				return e.inbufs[w[i]].headArrival < e.inbufs[w[j]].headArrival
+			})
+		case RandomInput:
+			e.rng.Shuffle(nw, func(i, j int) { w[i], w[j] = w[j], w[i] })
+		case PortOrder:
+			// Already in ascending port order.
+		}
+		for _, in := range w {
+			b := &e.inbufs[in]
+			pkt := b.q[0].p
+			if pkt.dst == topology.NodeID(v) {
+				out := e.ejectionOut(topology.NodeID(v))
+				if e.busyBy[out] < 0 {
+					e.busyBy[out] = in
+					b.allocOut = out
+					if e.cfg.Observer != nil {
+						e.cfg.Observer.Allocate(e.cycle, topology.NodeID(v), topology.Direction{}, 0, true)
+					}
+				}
+				continue
+			}
+			port := int(in) - base
+			var inp routing.VCInPort
+			if port == e.vport-1 {
+				inp = routing.VCInjected
+			} else {
+				inp = routing.VCInPort{
+					Dir: topology.DirectionFromIndex(port / e.vcs),
+					VC:  port % e.vcs,
+				}
+			}
+			cands = e.alg.CandidatesVC(topology.NodeID(v), pkt.dst, inp, cands[:0])
+			if inp.Injected && pkt.firstDir != nil {
+				// Scripted first hop: honor it when offered.
+				kept := cands[:0]
+				for _, vd := range cands {
+					if vd.Dir == *pkt.firstDir {
+						kept = append(kept, vd)
+					}
+				}
+				if len(kept) > 0 {
+					cands = kept
+				}
+			}
+			// Keep only candidates whose virtual output channel is free
+			// and whose physical channel is enabled.
+			free := cands[:0]
+			for _, vd := range cands {
+				if vd.VC < 0 || vd.VC >= e.vcs {
+					continue
+				}
+				out := int32(base + vd.Dir.Index()*e.vcs + vd.VC)
+				if e.busyBy[out] >= 0 || e.outDest[out] < 0 {
+					continue
+				}
+				if !t.Enabled(topology.Channel{From: topology.NodeID(v), Dir: vd.Dir}) {
+					continue
+				}
+				free = append(free, vd)
+			}
+			if len(free) == 0 {
+				continue
+			}
+			// With misroute patience configured, prefer distance-reducing
+			// ("profitable") outputs and permit a detour only after the
+			// header has waited long enough.
+			pick := free
+			if e.cfg.MisrouteAfter > 0 {
+				profitable := e.profitable(topology.NodeID(v), pkt.dst, free)
+				if len(profitable) > 0 {
+					pick = profitable
+				} else if e.cycle-b.headArrival < e.cfg.MisrouteAfter {
+					continue // wait for the patience to run out
+				}
+			}
+			vd := e.chooseVC(pick)
+			out := int32(base + vd.Dir.Index()*e.vcs + vd.VC)
+			e.busyBy[out] = in
+			b.allocOut = out
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.Allocate(e.cycle, topology.NodeID(v), vd.Dir, vd.VC, false)
+			}
+		}
+	}
+}
+
+// profitable filters candidates to those that reduce the distance to
+// dst, reusing the tail of cands as scratch (callers pass a slice they
+// own).
+func (e *Engine) profitable(cur, dst topology.NodeID, cands []routing.VirtualDirection) []routing.VirtualDirection {
+	out := cands[len(cands):]
+	base := e.topo.Distance(cur, dst)
+	for _, vd := range cands {
+		if next, ok := e.topo.Neighbor(cur, vd.Dir); ok && e.topo.Distance(next, dst) < base {
+			out = append(out, vd)
+		}
+	}
+	return out
+}
+
+// chooseVC applies the output selection policy to virtual directions.
+func (e *Engine) chooseVC(cands []routing.VirtualDirection) routing.VirtualDirection {
+	switch e.cfg.Policy {
+	case LowestDimension:
+		return cands[0] // candidates arrive in ascending dimension order
+	case HighestDimension:
+		return cands[len(cands)-1]
+	default:
+		return cands[e.rng.Intn(len(cands))]
+	}
+}
+
+// pushWork schedules input buffer in for a movement attempt this cycle.
+func (e *Engine) pushWork(in int32) {
+	if in >= 0 && !e.inWork[in] {
+		e.inWork[in] = true
+		e.work = append(e.work, in)
+	}
+}
+
+// move runs the switch/link traversal phase. Each physical link carries
+// at most one flit per cycle; virtual channels sharing a link are served
+// in an order that rotates with the cycle count, a round-robin that
+// prevents one virtual channel from starving the other. In chained mode,
+// freeing a buffer slot immediately lets the upstream flit advance into
+// it (the worm moves as a synchronized train); in strict mode only space
+// available at the start of the cycle counts.
+func (e *Engine) move(lenStart []int32) {
+	strict := e.cfg.StrictAdvance
+	if strict {
+		for i := range e.inbufs {
+			lenStart[i] = int32(len(e.inbufs[i].q))
+		}
+	}
+	e.work = e.work[:0]
+	for i := range e.inbufs {
+		e.inWork[i] = false
+	}
+	// The worklist is processed LIFO, so within each physical direction
+	// push the preferred virtual channel last. The preference rotates
+	// with the cycle.
+	rot := int(e.cycle) % e.vcs
+	for r := 0; r < e.topo.Nodes(); r++ {
+		base := r * e.vport
+		for di := 0; di < e.nphys-1; di++ {
+			for k := e.vcs - 1; k >= 0; k-- {
+				vc := (rot + k) % e.vcs
+				i := int32(base + di*e.vcs + vc)
+				if len(e.inbufs[i].q) > 0 && e.inbufs[i].allocOut >= 0 {
+					e.pushWork(i)
+				}
+			}
+		}
+		i := int32(base + e.vport - 1)
+		if len(e.inbufs[i].q) > 0 && e.inbufs[i].allocOut >= 0 {
+			e.pushWork(i)
+		}
+	}
+	// Source-queue injections are attempted for every nonempty queue.
+	for v := range e.queues {
+		if len(e.queues[v]) > 0 {
+			e.tryInject(topology.NodeID(v), lenStart)
+		}
+	}
+	for len(e.work) > 0 {
+		in := e.work[len(e.work)-1]
+		e.work = e.work[:len(e.work)-1]
+		e.inWork[in] = false
+		e.moveOne(in, lenStart)
+	}
+}
+
+// tryInject moves the next flit of the source queue's head packet into
+// the injection buffer, modeling the processor-to-router channel
+// (bandwidth one flit per cycle).
+func (e *Engine) tryInject(v topology.NodeID, lenStart []int32) {
+	q := e.queues[v]
+	if len(q) == 0 {
+		return
+	}
+	in := e.injectionIn(v)
+	if e.injUsed[in] {
+		return
+	}
+	b := &e.inbufs[in]
+	if !e.hasSpace(in, b, lenStart) {
+		return
+	}
+	p := q[0]
+	f := flit{p: p, head: p.flitsSent == 0, tail: p.flitsSent == p.length-1}
+	b.q = append(b.q, f)
+	if f.head {
+		b.headArrival = e.cycle
+		p.injectCycle = e.cycle
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.Inject(e.cycle, p.src, p.dst, p.length)
+		}
+	}
+	p.flitsSent++
+	e.injUsed[in] = true
+	e.lastMove = e.cycle
+	if f.tail {
+		e.queues[v] = q[1:]
+	}
+}
+
+func (e *Engine) hasSpace(in int32, b *inbuf, lenStart []int32) bool {
+	if e.cfg.StrictAdvance {
+		return int(lenStart[in]) < e.depth && len(b.q) < e.depth
+	}
+	return len(b.q) < e.depth
+}
+
+// readyToForward applies the switching technique's forwarding rule to
+// the front flit of a network input buffer: store-and-forward holds a
+// packet until its tail flit has arrived; wormhole and virtual
+// cut-through forward immediately. Injection buffers are exempt (the
+// source queue is the source node's packet store).
+func (e *Engine) readyToForward(in int32, b *inbuf) bool {
+	if !e.cfg.holdsWholePacket() || int(in)%e.vport == e.vport-1 {
+		return true
+	}
+	front := b.q[0].p
+	for i := len(b.q) - 1; i >= 0; i-- {
+		if b.q[i].p == front {
+			return b.q[i].tail
+		}
+	}
+	return false
+}
+
+// moveOne attempts to advance the front flit of input buffer in.
+func (e *Engine) moveOne(in int32, lenStart []int32) {
+	b := &e.inbufs[in]
+	if len(b.q) == 0 || b.allocOut < 0 {
+		return
+	}
+	out := b.allocOut
+	phys := e.physIndex(out)
+	if e.linkUsed[phys] {
+		return
+	}
+	if !e.readyToForward(in, b) {
+		return
+	}
+	f := b.q[0]
+	dest := e.outDest[out]
+	if dest < 0 {
+		// Ejection: the destination processor consumes immediately.
+		e.linkUsed[phys] = true
+		if e.stats.measuring {
+			e.linkFlits[phys]++
+		}
+		e.popFront(b)
+		f.p.flitsDelivered++
+		e.lastMove = e.cycle
+		if f.tail {
+			e.deliver(f.p)
+			e.release(in, out)
+		}
+		e.cascade(in)
+		e.countDeliveredFlit()
+		return
+	}
+	db := &e.inbufs[dest]
+	if !e.hasSpace(dest, db, lenStart) {
+		return
+	}
+	e.linkUsed[phys] = true
+	if e.stats.measuring {
+		e.linkFlits[phys]++
+	}
+	if e.cfg.Observer != nil {
+		p := int(out) % e.vport
+		e.cfg.Observer.Forward(e.cycle, topology.Channel{
+			From: topology.NodeID(int(out) / e.vport),
+			Dir:  topology.DirectionFromIndex(p / e.vcs),
+		}, p%e.vcs, f.head, f.tail)
+	}
+	e.popFront(b)
+	db.q = append(db.q, f)
+	e.lastMove = e.cycle
+	if f.head {
+		db.headArrival = e.cycle
+		f.p.hops++
+	}
+	if f.tail {
+		e.release(in, out)
+	}
+	e.cascade(in)
+}
+
+// popFront removes the front flit of b.
+func (e *Engine) popFront(b *inbuf) {
+	copy(b.q, b.q[1:])
+	b.q = b.q[:len(b.q)-1]
+}
+
+// release frees the virtual output channel held through input in after
+// the tail flit passed.
+func (e *Engine) release(in, out int32) {
+	e.busyBy[out] = -1
+	e.inbufs[in].allocOut = -1
+}
+
+// cascade schedules the feeder of input buffer in, which may now have
+// space to receive a flit (chained advance).
+func (e *Engine) cascade(in int32) {
+	if e.cfg.StrictAdvance {
+		return
+	}
+	if int(in)%e.vport == e.vport-1 {
+		// Injection buffer freed: the source queue may inject.
+		v := topology.NodeID(int(in) / e.vport)
+		e.tryInject(v, nil)
+		return
+	}
+	up := e.upOut[in]
+	if up < 0 {
+		return
+	}
+	feeder := e.busyBy[up]
+	if feeder >= 0 {
+		e.pushWork(feeder)
+	}
+}
+
+// deliver finalizes a packet whose tail was consumed.
+func (e *Engine) deliver(p *packet) {
+	p.deliverCycle = e.cycle
+	e.inFlight--
+	if e.onDeliver != nil {
+		e.onDeliver(p)
+	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.Deliver(e.cycle, p.src, p.dst, p.deliverCycle-p.genCycle, p.hops)
+	}
+	e.stats.totalDeliveredEver++
+	if e.stats.measuring {
+		e.stats.packetsDelivered++
+		lat := float64(p.deliverCycle - p.genCycle)
+		if e.stats.latencies == nil {
+			// One-cycle (0.05 us) buckets keep percentiles sharp.
+			e.stats.latencies = stats.NewHistogram(1)
+		}
+		e.stats.latencies.Add(lat)
+		e.stats.sumLatency += lat
+		e.stats.sumNetLatency += float64(p.deliverCycle - p.injectCycle)
+		e.stats.sumHops += float64(p.hops)
+		if lat > e.stats.maxLatency {
+			e.stats.maxLatency = lat
+		}
+	}
+}
+
+func (e *Engine) countDeliveredFlit() {
+	if e.stats.measuring {
+		e.stats.flitsDelivered++
+	}
+}
+
+// backlogFlits returns the flits waiting in source queues (including the
+// un-injected remainder of partially injected packets).
+func (e *Engine) backlogFlits() int64 {
+	var total int64
+	for _, q := range e.queues {
+		for _, p := range q {
+			total += int64(p.length - p.flitsSent)
+		}
+	}
+	return total
+}
+
+// hottestChannel returns the network channel that carried the most
+// flits during measurement and its utilization (flits per cycle).
+func (e *Engine) hottestChannel() (float64, topology.Channel) {
+	var best int64 = -1
+	bestIdx := -1
+	for i, f := range e.linkFlits {
+		if i%e.nphys == e.nphys-1 {
+			continue // ejection channel
+		}
+		if f > best {
+			best, bestIdx = f, i
+		}
+	}
+	if bestIdx < 0 || e.cfg.MeasureCycles == 0 {
+		return 0, topology.Channel{}
+	}
+	ch := topology.Channel{
+		From: topology.NodeID(bestIdx / e.nphys),
+		Dir:  topology.DirectionFromIndex(bestIdx % e.nphys),
+	}
+	return float64(best) / float64(e.cfg.MeasureCycles), ch
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+// TestObserverEventConsistency: events reconcile with the run's results
+// — one Inject and one Deliver per packet, Forward counts equal to the
+// flits' total hop work, and the occupancy recorder's hottest channel
+// agrees with the engine's.
+func TestObserverEventConsistency(t *testing.T) {
+	topo := topology.NewMesh(6, 6)
+	occ := NewChannelOccupancy(topo)
+	var injects, delivers, forwards, headForwards int
+	var hopSum int
+	obs := ObserverFuncs{
+		InjectFn: func(_ int64, src, dst topology.NodeID, length int) {
+			injects++
+			if src == dst || length < 1 {
+				t.Error("bad inject event")
+			}
+		},
+		AllocateFn: occ.Observer().(ObserverFuncs).AllocateFn, // nil is fine
+		ForwardFn: func(cycle int64, ch topology.Channel, vc int, head, tail bool) {
+			forwards++
+			if head {
+				headForwards++
+			}
+			if vc != 0 {
+				t.Error("single-channel run produced a nonzero VC event")
+			}
+			occ.Observer().(ObserverFuncs).ForwardFn(cycle, ch, vc, head, tail)
+		},
+		DeliverFn: func(_ int64, _, _ topology.NodeID, lat int64, hops int) {
+			delivers++
+			hopSum += hops
+			if lat <= 0 {
+				t.Error("nonpositive latency event")
+			}
+		},
+	}
+	var script []ScriptedMessage
+	total := 0
+	for i := 0; i < 30; i++ {
+		src := topology.NodeID((i * 7) % topo.Nodes())
+		dst := topology.NodeID((i*11 + 5) % topo.Nodes())
+		if src == dst {
+			continue
+		}
+		script = append(script, ScriptedMessage{Cycle: int64(i), Src: src, Dst: dst, Length: 6})
+		total++
+	}
+	res, err := Run(Config{
+		Algorithm: routing.NewWestFirst(topo),
+		Script:    script,
+		Observer:  obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("deadlock")
+	}
+	if injects != total || delivers != total {
+		t.Errorf("injects=%d delivers=%d, want %d", injects, delivers, total)
+	}
+	// Every flit of every packet crosses each network channel of its
+	// path exactly once: forwards = sum over packets of length*hops.
+	wantForwards := 0
+	for _, m := range script {
+		wantForwards += m.Length * topo.Distance(m.Src, m.Dst)
+	}
+	if forwards != wantForwards {
+		t.Errorf("forward events %d, want %d", forwards, wantForwards)
+	}
+	if hopSum*6 != wantForwards {
+		t.Errorf("delivered hop sum inconsistent: %d", hopSum)
+	}
+	if headForwards*6 != wantForwards {
+		t.Errorf("head forwards %d inconsistent", headForwards)
+	}
+	if occ.Total() != int64(wantForwards) {
+		t.Errorf("occupancy total %d, want %d", occ.Total(), wantForwards)
+	}
+	_, hottestCount := occ.Hottest()
+	if hottestCount <= 0 {
+		t.Error("no hottest channel recorded")
+	}
+}
+
+// TestObserverMatchesAnalyticHotChannel: with an occupancy observer on
+// transpose traffic, the recorded flit distribution's hottest channel
+// carries a count close to utilization * cycles reported by the engine.
+func TestObserverUtilizationAgreement(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	occ := NewChannelOccupancy(topo)
+	res, err := Run(Config{
+		Algorithm:     routing.NewDimensionOrder(topo),
+		Pattern:       traffic.NewMeshTranspose(topo),
+		OfferedLoad:   1.5,
+		WarmupCycles:  1000,
+		MeasureCycles: 5000,
+		Seed:          91,
+		Observer:      occ.Observer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The observer sees warmup too, so its count is at least the
+	// measurement-window count implied by the utilization.
+	_, count := occ.Hottest()
+	implied := res.MaxChannelUtilization * 5000
+	if float64(count) < implied {
+		t.Errorf("observer hottest count %d below measured-window flits %.0f", count, implied)
+	}
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"fmt"
+
+	"turnmodel/internal/topology"
+)
+
+// Result summarizes one simulation run. Latencies are in microseconds
+// and throughput in flits delivered per microsecond network-wide, the
+// units of Figures 13-16.
+type Result struct {
+	// Config echoes the run parameters.
+	Algorithm string
+	Pattern   string
+	// OfferedLoad is the applied load in flits/us/node.
+	OfferedLoad float64
+
+	// Throughput is the measured network throughput in flits/us
+	// delivered during the measurement window.
+	Throughput float64
+	// AvgLatency is the mean message latency in us from generation
+	// (including source queueing) to tail delivery.
+	AvgLatency float64
+	// AvgNetLatency is the mean latency from header injection to tail
+	// delivery.
+	AvgNetLatency float64
+	// MaxLatency is the largest message latency observed, in us.
+	MaxLatency float64
+	// LatencyP50, LatencyP95 and LatencyP99 are latency percentiles in
+	// us over the measurement window.
+	LatencyP50, LatencyP95, LatencyP99 float64
+	// AvgHops is the mean number of network channels traversed.
+	AvgHops float64
+
+	// PacketsDelivered and PacketsGenerated count packets in the
+	// measurement window.
+	PacketsDelivered int64
+	PacketsGenerated int64
+
+	// Sustainable reports the paper's criterion: the number of packets
+	// queued at their source processors stays small and bounded. It is
+	// true when the source backlog grew by no more than 5% of the flits
+	// generated during measurement and the run did not deadlock.
+	Sustainable bool
+	// BacklogGrowth is the growth of queued source flits over the
+	// measurement window.
+	BacklogGrowth int64
+
+	// Deadlocked reports that no flit moved for DeadlockThreshold cycles
+	// while traffic was in flight.
+	Deadlocked bool
+	// DeadlockCycle is the cycle deadlock was declared, if any.
+	DeadlockCycle int64
+
+	// Cycles is the total number of simulated cycles.
+	Cycles int64
+
+	// MaxChannelUtilization is the busiest network channel's fraction of
+	// cycles carrying a flit during the measurement window, and
+	// HottestChannel identifies it. Ejection channels are excluded.
+	MaxChannelUtilization float64
+	HottestChannel        topology.Channel
+}
+
+func (r Result) String() string {
+	status := "sustainable"
+	if r.Deadlocked {
+		status = fmt.Sprintf("DEADLOCK@%d", r.DeadlockCycle)
+	} else if !r.Sustainable {
+		status = "saturated"
+	}
+	return fmt.Sprintf("%s/%s offered=%.2f flits/us/node: throughput=%.1f flits/us latency=%.2f us (net %.2f) hops=%.2f [%s]",
+		r.Algorithm, r.Pattern, r.OfferedLoad, r.Throughput, r.AvgLatency, r.AvgNetLatency, r.AvgHops, status)
+}
+
+// Run executes the configured simulation to completion and returns its
+// measurements.
+func Run(cfg Config) (Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.run(), nil
+}
+
+func (e *Engine) run() Result {
+	res := Result{
+		Algorithm:   e.alg.Name(),
+		OfferedLoad: e.cfg.OfferedLoad,
+	}
+	if e.cfg.Pattern != nil {
+		res.Pattern = e.cfg.Pattern.Name()
+	} else {
+		res.Pattern = "scripted"
+	}
+
+	var lenStart []int32
+	if e.cfg.StrictAdvance {
+		lenStart = make([]int32, len(e.inbufs))
+	}
+
+	end := e.cfg.WarmupCycles + e.cfg.MeasureCycles
+	scripted := e.script != nil
+	if scripted {
+		// Scripted runs measure everything from cycle zero.
+		e.stats.measuring = true
+	}
+	for {
+		if scripted {
+			done := e.scriptAt == len(e.script) && e.inFlight == 0
+			if done || e.cycle >= e.cfg.DrainDeadline {
+				break
+			}
+		} else {
+			if e.cycle >= end {
+				break
+			}
+			if e.cycle == e.cfg.WarmupCycles {
+				e.stats.measuring = true
+				e.stats.windowStart = e.cycle
+				e.stats.backlogStartFlits = e.backlogFlits()
+				e.stats.backlogStartValid = true
+			}
+		}
+
+		e.generate()
+		e.allocate()
+		for i := range e.linkUsed {
+			e.linkUsed[i] = false
+		}
+		for i := range e.injUsed {
+			e.injUsed[i] = false
+		}
+		e.move(lenStart)
+
+		if e.inFlight > 0 && e.cycle-e.lastMove >= e.cfg.DeadlockThreshold {
+			res.Deadlocked = true
+			res.DeadlockCycle = e.cycle
+			break
+		}
+		e.cycle++
+	}
+
+	res.Cycles = e.cycle
+	s := &e.stats
+	if scripted {
+		res.PacketsGenerated = s.packetsGenerated
+		res.PacketsDelivered = s.totalDeliveredEver
+		res.Sustainable = !res.Deadlocked
+		if s.packetsDelivered > 0 {
+			res.AvgLatency = s.sumLatency / float64(s.packetsDelivered) / CyclesPerMicrosecond
+			res.AvgNetLatency = s.sumNetLatency / float64(s.packetsDelivered) / CyclesPerMicrosecond
+			res.AvgHops = s.sumHops / float64(s.packetsDelivered)
+			res.MaxLatency = s.maxLatency / CyclesPerMicrosecond
+			res.LatencyP50 = s.latencies.Percentile(0.50) / CyclesPerMicrosecond
+			res.LatencyP95 = s.latencies.Percentile(0.95) / CyclesPerMicrosecond
+			res.LatencyP99 = s.latencies.Percentile(0.99) / CyclesPerMicrosecond
+		}
+		if e.cycle > 0 {
+			res.Throughput = float64(s.flitsDelivered) / (float64(e.cycle) / CyclesPerMicrosecond)
+			savedMeasure := e.cfg.MeasureCycles
+			e.cfg.MeasureCycles = e.cycle
+			res.MaxChannelUtilization, res.HottestChannel = e.hottestChannel()
+			e.cfg.MeasureCycles = savedMeasure
+		}
+		return res
+	}
+	measureUs := float64(e.cfg.MeasureCycles) / CyclesPerMicrosecond
+	res.Throughput = float64(s.flitsDelivered) / measureUs
+	if s.packetsDelivered > 0 {
+		res.AvgLatency = s.sumLatency / float64(s.packetsDelivered) / CyclesPerMicrosecond
+		res.AvgNetLatency = s.sumNetLatency / float64(s.packetsDelivered) / CyclesPerMicrosecond
+		res.AvgHops = s.sumHops / float64(s.packetsDelivered)
+		res.MaxLatency = s.maxLatency / CyclesPerMicrosecond
+		res.LatencyP50 = s.latencies.Percentile(0.50) / CyclesPerMicrosecond
+		res.LatencyP95 = s.latencies.Percentile(0.95) / CyclesPerMicrosecond
+		res.LatencyP99 = s.latencies.Percentile(0.99) / CyclesPerMicrosecond
+	}
+	res.PacketsDelivered = s.packetsDelivered
+	res.PacketsGenerated = s.packetsGenerated
+	res.MaxChannelUtilization, res.HottestChannel = e.hottestChannel()
+	res.BacklogGrowth = e.backlogFlits() - s.backlogStartFlits
+	genFlits := s.flitsGenMeasure
+	res.Sustainable = !res.Deadlocked && float64(res.BacklogGrowth) <= 0.05*float64(genFlits)+float64(2*e.topo.Nodes())
+	return res
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a Plot.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// Plot renders an ASCII scatter plot of several series, in the spirit
+// of the paper's latency-versus-throughput figures. Width and height
+// are the interior plot dimensions in characters.
+type Plot struct {
+	XLabel, YLabel string
+	Width, Height  int
+	series         []Series
+}
+
+// NewPlot returns a plot with the given axis labels and a default
+// 64x20 interior.
+func NewPlot(xlabel, ylabel string) *Plot {
+	return &Plot{XLabel: xlabel, YLabel: ylabel, Width: 64, Height: 20}
+}
+
+// Add appends a series; when marker is 0 one is assigned from 1-9a-z.
+func (p *Plot) Add(name string, x, y []float64, marker byte) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: series %q has %d x values but %d y values", name, len(x), len(y)))
+	}
+	if marker == 0 {
+		markers := "1234567890abcdefghij"
+		marker = markers[len(p.series)%len(markers)]
+	}
+	p.series = append(p.series, Series{Name: name, Marker: marker, X: x, Y: y})
+}
+
+// String renders the plot.
+func (p *Plot) String() string {
+	if len(p.series) == 0 {
+		return "(empty plot)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range p.series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return "(empty plot)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, p.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for _, s := range p.series {
+		for i := range s.X {
+			cx := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(p.Width-1)))
+			cy := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(p.Height-1)))
+			row := p.Height - 1 - cy
+			if grid[row][cx] != ' ' && grid[row][cx] != s.Marker {
+				grid[row][cx] = '*' // overlapping series
+			} else {
+				grid[row][cx] = s.Marker
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.YLabel)
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", maxY)
+		case p.Height - 1:
+			label = fmt.Sprintf("%7.1f ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", p.Width))
+	fmt.Fprintf(&b, "        %-10.1f%*s\n", minX, p.Width-2, fmt.Sprintf("%.1f", maxX))
+	fmt.Fprintf(&b, "        %s\n", p.XLabel)
+	for _, s := range p.series {
+		fmt.Fprintf(&b, "        %c = %s\n", s.Marker, s.Name)
+	}
+	return b.String()
+}

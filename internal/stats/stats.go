@@ -1,0 +1,184 @@
+// Package stats provides the small statistical toolkit the simulator
+// and experiment harness use: streaming mean/variance accumulators,
+// histograms, and series/table formatting helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accumulator computes streaming count, mean, variance, min and max with
+// Welford's algorithm.
+type Accumulator struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min and Max return the observed extremes (0 with no observations).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// String summarizes the accumulator.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", a.n, a.Mean(), a.StdDev(), a.min, a.max)
+}
+
+// Histogram counts observations in fixed-width buckets.
+type Histogram struct {
+	width   float64
+	buckets map[int]int64
+	acc     Accumulator
+}
+
+// NewHistogram returns a histogram with the given bucket width.
+func NewHistogram(width float64) *Histogram {
+	if width <= 0 {
+		panic("stats: histogram width must be positive")
+	}
+	return &Histogram{width: width, buckets: make(map[int]int64)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.buckets[int(math.Floor(x/h.width))]++
+	h.acc.Add(x)
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.acc.N() }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 { return h.acc.Mean() }
+
+// Percentile returns the smallest bucket upper bound covering at least
+// fraction q of the observations.
+func (h *Histogram) Percentile(q float64) float64 {
+	if h.acc.N() == 0 {
+		return 0
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	target := q * float64(h.acc.N())
+	var cum float64
+	for _, k := range keys {
+		cum += float64(h.buckets[k])
+		if cum >= target {
+			return float64(k+1) * h.width
+		}
+	}
+	return float64(keys[len(keys)-1]+1) * h.width
+}
+
+// Table renders aligned text tables for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", a.Mean())
+	}
+	// Sample (unbiased) variance of this classic data set is 32/7.
+	if math.Abs(a.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %v, want %v", a.Variance(), 32.0/7)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	if a.StdErr() <= 0 {
+		t.Error("stderr should be positive")
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Error("empty accumulator should be all zeros")
+	}
+}
+
+// TestAccumulatorMatchesNaive: Welford agrees with the two-pass formula.
+func TestAccumulatorMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(n uint8) bool {
+		size := int(n)%50 + 2
+		xs := make([]float64, size)
+		var a Accumulator
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			a.Add(xs[i])
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(size)
+		var v float64
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(size - 1)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Variance()-v) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1.0)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Errorf("N = %d", h.N())
+	}
+	if p := h.Percentile(0.5); math.Abs(p-51) > 1.5 {
+		t.Errorf("p50 = %v, want about 51", p)
+	}
+	if p := h.Percentile(0.99); p < 98 || p > 101 {
+		t.Errorf("p99 = %v", p)
+	}
+	if math.Abs(h.Mean()-50.5) > 1e-9 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(2)
+	if h.Percentile(0.5) != 0 {
+		t.Error("empty histogram percentile should be 0")
+	}
+}
+
+func TestHistogramBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestTable(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("beta-long-name", 22)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1.50") {
+		t.Errorf("float not formatted: %q", lines[2])
+	}
+	// Columns align: the separator row is as wide as the widest cell.
+	if len(lines[1]) < len("beta-long-name") {
+		t.Errorf("separator too short: %q", lines[1])
+	}
+}
+
+func TestPlot(t *testing.T) {
+	p := NewPlot("throughput", "latency")
+	p.Add("xy", []float64{100, 200, 300}, []float64{5, 10, 50}, 0)
+	p.Add("nf", []float64{100, 300, 500}, []float64{5, 8, 20}, 0)
+	out := p.String()
+	if !strings.Contains(out, "1 = xy") || !strings.Contains(out, "2 = nf") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "throughput") || !strings.Contains(out, "latency") {
+		t.Error("missing axis labels")
+	}
+	if !strings.Contains(out, "50.0") {
+		t.Error("missing y max label")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 24 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("x", "y")
+	if got := p.String(); got != "(empty plot)\n" {
+		t.Errorf("empty plot rendered %q", got)
+	}
+	p.Add("none", nil, nil, 0)
+	if got := p.String(); got != "(empty plot)\n" {
+		t.Errorf("pointless series rendered %q", got)
+	}
+}
+
+func TestPlotMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPlot("x", "y").Add("bad", []float64{1}, []float64{1, 2}, 0)
+}

@@ -1,0 +1,356 @@
+// Package traffic provides the message traffic patterns of Section 6 —
+// uniform, matrix-transpose (for meshes and, via the paper's mesh
+// embedding, for hypercubes), and reverse-flip — plus bit-complement and
+// hotspot extensions.
+//
+// A pattern maps a source node to a destination. Patterns may be
+// deterministic (transpose, reverse-flip) or stochastic (uniform,
+// hotspot). A pattern returning the source itself means the node
+// generates no traffic: the diagonal of a matrix transpose and the fixed
+// points of reverse-flip send no messages, which is what produces the
+// paper's average path lengths of 11.34 hops (mesh transpose) and 4.27
+// hops (cube reverse-flip).
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"turnmodel/internal/topology"
+)
+
+// Pattern selects a destination for each message.
+type Pattern interface {
+	// Name identifies the pattern.
+	Name() string
+	// Dest returns the destination of a message generated at src, or src
+	// itself to indicate that src generates no traffic. rng is used by
+	// stochastic patterns and must not be retained.
+	Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID
+	// Deterministic reports whether Dest ignores rng.
+	Deterministic() bool
+}
+
+// Uniform sends each message to any of the other nodes with equal
+// probability.
+type Uniform struct {
+	t *topology.Topology
+}
+
+// NewUniform returns the uniform pattern on t.
+func NewUniform(t *topology.Topology) *Uniform { return &Uniform{t: t} }
+
+// Name implements Pattern.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Deterministic implements Pattern.
+func (u *Uniform) Deterministic() bool { return false }
+
+// Dest implements Pattern.
+func (u *Uniform) Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	d := topology.NodeID(rng.Intn(u.t.Nodes() - 1))
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// MeshTranspose sends each message from the node at row i, column j of a
+// square 2D mesh to the node at row j, column i. Diagonal nodes (i == j)
+// generate no traffic.
+//
+// Rows follow matrix convention and grow southward: row i, column j is
+// the node (x, y) = (j, k-1-i) in mesh coordinates (north = +y). The
+// transpose destination is therefore (k-1-y, k-1-x): both coordinate
+// offsets have the same sign for every message. This orientation is what
+// the paper's results imply: it makes every transpose message fall in
+// the multinomial branch of the Section 3.4 S_negative-first formula
+// (fully adaptive under negative-first), which is why negative-first
+// posts the highest sustainable mesh throughput in Figure 14. The
+// opposite orientation would make every transpose pair mixed-sign,
+// leaving negative-first a single path and indistinguishable from xy.
+// The average path length (11.34 hops excluding the silent diagonal) is
+// the same either way.
+type MeshTranspose struct {
+	t *topology.Topology
+}
+
+// NewMeshTranspose returns the matrix-transpose pattern on square 2D
+// mesh t.
+func NewMeshTranspose(t *topology.Topology) *MeshTranspose {
+	if t.NumDims() != 2 || t.Dims()[0] != t.Dims()[1] {
+		panic("traffic: matrix transpose requires a square 2D mesh")
+	}
+	return &MeshTranspose{t: t}
+}
+
+// Name implements Pattern.
+func (m *MeshTranspose) Name() string { return "matrix-transpose" }
+
+// Deterministic implements Pattern.
+func (m *MeshTranspose) Deterministic() bool { return true }
+
+// Dest implements Pattern.
+func (m *MeshTranspose) Dest(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+	k := m.t.Dims()[0]
+	x := m.t.CoordOf(src, 0)
+	y := m.t.CoordOf(src, 1)
+	return m.t.ID(topology.Coord{k - 1 - y, k - 1 - x})
+}
+
+// HypercubeTranspose is the paper's matrix-transpose pattern for a
+// binary n-cube with even n: a 2^(n/2) x 2^(n/2) mesh is mapped to the
+// hypercube so that mesh neighbors are hypercube neighbors, and messages
+// follow the mesh transpose. For n = 8 the resulting pattern sends each
+// message from (x0,...,x7) to (^x4, x5, x6, x7, ^x0, x1, x2, x3): the
+// two address halves swap, each with its leading bit complemented.
+// Fixed points generate no traffic.
+type HypercubeTranspose struct {
+	t *topology.Topology
+}
+
+// NewHypercubeTranspose returns the embedded transpose pattern on
+// hypercube t, which must have an even number of dimensions.
+func NewHypercubeTranspose(t *topology.Topology) *HypercubeTranspose {
+	if !t.IsHypercube() || t.NumDims()%2 != 0 {
+		panic("traffic: hypercube transpose requires a hypercube with even dimension count")
+	}
+	return &HypercubeTranspose{t: t}
+}
+
+// Name implements Pattern.
+func (h *HypercubeTranspose) Name() string { return "matrix-transpose" }
+
+// Deterministic implements Pattern.
+func (h *HypercubeTranspose) Deterministic() bool { return true }
+
+// Dest implements Pattern.
+func (h *HypercubeTranspose) Dest(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+	n := h.t.NumDims()
+	half := n / 2
+	x := uint64(src)
+	lo := x & (1<<uint(half) - 1)
+	hi := x >> uint(half)
+	// Swap halves; complement the leading (lowest-index) bit of each.
+	y := (lo<<uint(half) | hi) ^ 1 ^ (1 << uint(half))
+	return topology.NodeID(y)
+}
+
+// ReverseFlip sends each message from (x_0, ..., x_{n-1}) to
+// (^x_{n-1}, ..., ^x_0): the address reversed and complemented. Fixed
+// points (for even n there are 2^(n/2)) generate no traffic.
+type ReverseFlip struct {
+	t *topology.Topology
+}
+
+// NewReverseFlip returns the reverse-flip pattern on hypercube t.
+func NewReverseFlip(t *topology.Topology) *ReverseFlip {
+	if !t.IsHypercube() {
+		panic("traffic: reverse-flip requires a hypercube")
+	}
+	return &ReverseFlip{t: t}
+}
+
+// Name implements Pattern.
+func (r *ReverseFlip) Name() string { return "reverse-flip" }
+
+// Deterministic implements Pattern.
+func (r *ReverseFlip) Deterministic() bool { return true }
+
+// Dest implements Pattern.
+func (r *ReverseFlip) Dest(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+	n := r.t.NumDims()
+	x := uint64(src)
+	var y uint64
+	for i := 0; i < n; i++ {
+		bit := x >> uint(i) & 1
+		y |= (bit ^ 1) << uint(n-1-i)
+	}
+	return topology.NodeID(y)
+}
+
+// BitComplement sends each message from x to ^x (all coordinates
+// mirrored), a classic adversarial pattern for meshes and hypercubes.
+type BitComplement struct {
+	t *topology.Topology
+}
+
+// NewBitComplement returns the complement pattern on t: each coordinate
+// x_i maps to k_i - 1 - x_i.
+func NewBitComplement(t *topology.Topology) *BitComplement { return &BitComplement{t: t} }
+
+// Name implements Pattern.
+func (b *BitComplement) Name() string { return "bit-complement" }
+
+// Deterministic implements Pattern.
+func (b *BitComplement) Deterministic() bool { return true }
+
+// Dest implements Pattern.
+func (b *BitComplement) Dest(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+	c := b.t.Coord(src)
+	for i, k := range b.t.Dims() {
+		c[i] = k - 1 - c[i]
+	}
+	return b.t.ID(c)
+}
+
+// Hotspot sends each message to a fixed hot node with probability P and
+// uniformly otherwise, modeling the hot-spot traffic the paper's
+// introduction motivates adaptive routing with.
+type Hotspot struct {
+	t   *topology.Topology
+	hot topology.NodeID
+	p   float64
+	uni *Uniform
+}
+
+// NewHotspot returns a hotspot pattern directing fraction p of traffic
+// at node hot.
+func NewHotspot(t *topology.Topology, hot topology.NodeID, p float64) *Hotspot {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("traffic: hotspot probability %v out of [0,1]", p))
+	}
+	return &Hotspot{t: t, hot: hot, p: p, uni: NewUniform(t)}
+}
+
+// Name implements Pattern.
+func (h *Hotspot) Name() string { return fmt.Sprintf("hotspot(%.0f%%@%d)", h.p*100, h.hot) }
+
+// Deterministic implements Pattern.
+func (h *Hotspot) Deterministic() bool { return false }
+
+// Dest implements Pattern.
+func (h *Hotspot) Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	if src != h.hot && rng.Float64() < h.p {
+		return h.hot
+	}
+	return h.uni.Dest(src, rng)
+}
+
+// AveragePathLength returns the mean minimal hop count of messages under
+// a deterministic pattern, excluding nodes that generate no traffic.
+// This reproduces the paper's reported averages: 11.34 hops for the
+// 16x16 mesh transpose and 4.27 for the 8-cube reverse-flip.
+func AveragePathLength(t *topology.Topology, p Pattern) float64 {
+	if !p.Deterministic() {
+		panic("traffic: AveragePathLength requires a deterministic pattern")
+	}
+	var sum, count float64
+	for src := topology.NodeID(0); src < topology.NodeID(t.Nodes()); src++ {
+		dst := p.Dest(src, nil)
+		if dst == src {
+			continue
+		}
+		sum += float64(t.Distance(src, dst))
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / count
+}
+
+// AverageUniformPathLength returns the mean minimal hop count over all
+// ordered pairs of distinct nodes, the uniform pattern's expected path
+// length (10.61 hops for the 16x16 mesh, 4.01 for the 8-cube, within
+// rounding).
+func AverageUniformPathLength(t *topology.Topology) float64 {
+	var sum float64
+	n := t.Nodes()
+	for src := topology.NodeID(0); src < topology.NodeID(n); src++ {
+		for dst := topology.NodeID(0); dst < topology.NodeID(n); dst++ {
+			if src != dst {
+				sum += float64(t.Distance(src, dst))
+			}
+		}
+	}
+	return sum / float64(n*(n-1))
+}
+
+// Tornado sends each message from x to the node offset by just under
+// half the ring in every dimension: dst_i = (x_i + ceil(k_i/2) - 1)
+// mod k_i. On k-ary n-cubes it is the classic adversary that drives all
+// traffic the same way around each ring; on meshes the modular offset
+// spreads sources across the far half.
+type Tornado struct {
+	t *topology.Topology
+}
+
+// NewTornado returns the tornado pattern on t.
+func NewTornado(t *topology.Topology) *Tornado { return &Tornado{t: t} }
+
+// Name implements Pattern.
+func (p *Tornado) Name() string { return "tornado" }
+
+// Deterministic implements Pattern.
+func (p *Tornado) Deterministic() bool { return true }
+
+// Dest implements Pattern.
+func (p *Tornado) Dest(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+	c := p.t.Coord(src)
+	for i, k := range p.t.Dims() {
+		c[i] = (c[i] + (k+1)/2 - 1) % k
+	}
+	return p.t.ID(c)
+}
+
+// BitReversal sends each message from the node whose binary address is
+// b_{n-1}...b_0 to the node b_0...b_{n-1} — the classic FFT
+// communication pattern. Hypercubes only.
+type BitReversal struct {
+	t *topology.Topology
+}
+
+// NewBitReversal returns the bit-reversal pattern on hypercube t.
+func NewBitReversal(t *topology.Topology) *BitReversal {
+	if !t.IsHypercube() {
+		panic("traffic: bit-reversal requires a hypercube")
+	}
+	return &BitReversal{t: t}
+}
+
+// Name implements Pattern.
+func (p *BitReversal) Name() string { return "bit-reversal" }
+
+// Deterministic implements Pattern.
+func (p *BitReversal) Deterministic() bool { return true }
+
+// Dest implements Pattern.
+func (p *BitReversal) Dest(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+	n := p.t.NumDims()
+	x := uint64(src)
+	var y uint64
+	for i := 0; i < n; i++ {
+		y |= (x >> uint(i) & 1) << uint(n-1-i)
+	}
+	return topology.NodeID(y)
+}
+
+// Shuffle sends each message from address b_{n-1}...b_0 to the perfect
+// shuffle b_{n-2}...b_0 b_{n-1} (rotate left). Hypercubes only.
+type Shuffle struct {
+	t *topology.Topology
+}
+
+// NewShuffle returns the perfect-shuffle pattern on hypercube t.
+func NewShuffle(t *topology.Topology) *Shuffle {
+	if !t.IsHypercube() {
+		panic("traffic: shuffle requires a hypercube")
+	}
+	return &Shuffle{t: t}
+}
+
+// Name implements Pattern.
+func (p *Shuffle) Name() string { return "shuffle" }
+
+// Deterministic implements Pattern.
+func (p *Shuffle) Deterministic() bool { return true }
+
+// Dest implements Pattern.
+func (p *Shuffle) Dest(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+	n := p.t.NumDims()
+	x := uint64(src)
+	top := x >> uint(n-1) & 1
+	y := (x<<1 | top) & (1<<uint(n) - 1)
+	return topology.NodeID(y)
+}

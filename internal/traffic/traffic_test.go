@@ -1,0 +1,335 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"turnmodel/internal/topology"
+)
+
+// TestAveragePathLengths reproduces the Section 6 path-length figures:
+// 10.61/11.34 hops in the 16x16 mesh (uniform/transpose) and 4.01/4.27
+// in the 8-cube (uniform/reverse-flip). The uniform figures are exact
+// expectations (the paper's 10.61 and 4.01 carry sampling noise; the
+// closed forms give 10.67 and 4.02).
+func TestAveragePathLengths(t *testing.T) {
+	mesh := topology.NewMesh(16, 16)
+	cube := topology.NewHypercube(8)
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"mesh uniform", AverageUniformPathLength(mesh), 10.625, 0.06},
+		{"mesh transpose", AveragePathLength(mesh, NewMeshTranspose(mesh)), 11.333, 0.01},
+		{"cube uniform", AverageUniformPathLength(cube), 4.0157, 0.01},
+		{"cube transpose", AveragePathLength(cube, NewHypercubeTranspose(cube)), 4.2667, 0.01},
+		{"cube reverse-flip", AveragePathLength(cube, NewReverseFlip(cube)), 4.2667, 0.01},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s: %.4f, want %.4f", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestMeshTransposeInvolution: applying the transpose twice returns the
+// source; the silent diagonal has exactly k nodes.
+func TestMeshTransposeInvolution(t *testing.T) {
+	mesh := topology.NewMesh(16, 16)
+	p := NewMeshTranspose(mesh)
+	silent := 0
+	for src := topology.NodeID(0); src < topology.NodeID(mesh.Nodes()); src++ {
+		d := p.Dest(src, nil)
+		if d == src {
+			silent++
+			continue
+		}
+		if back := p.Dest(d, nil); back != src {
+			t.Fatalf("transpose not an involution at %d: %d -> %d", src, d, back)
+		}
+	}
+	if silent != 16 {
+		t.Errorf("%d silent nodes, want 16 (the diagonal)", silent)
+	}
+}
+
+// TestMeshTransposeSignStructure: every transpose message has equal
+// per-dimension offsets — the property that places all transpose pairs
+// in the multinomial branch of the negative-first adaptiveness formula
+// and underlies the Figure 14 result.
+func TestMeshTransposeSignStructure(t *testing.T) {
+	mesh := topology.NewMesh(16, 16)
+	p := NewMeshTranspose(mesh)
+	for src := topology.NodeID(0); src < topology.NodeID(mesh.Nodes()); src++ {
+		d := p.Dest(src, nil)
+		if d == src {
+			continue
+		}
+		dx := mesh.Delta(src, d, 0)
+		dy := mesh.Delta(src, d, 1)
+		if dx != dy {
+			t.Fatalf("node %d: offsets (%d, %d) not equal", src, dx, dy)
+		}
+	}
+}
+
+// TestHypercubeTransposeFormula checks the paper's explicit n=8 bit
+// mapping: (x0..x7) -> (^x4, x5, x6, x7, ^x0, x1, x2, x3).
+func TestHypercubeTransposeFormula(t *testing.T) {
+	cube := topology.NewHypercube(8)
+	p := NewHypercubeTranspose(cube)
+	for src := topology.NodeID(0); src < 256; src++ {
+		got := uint(p.Dest(src, nil))
+		x := func(i int) uint { return uint(src) >> i & 1 }
+		var want uint
+		bits := []uint{x(4) ^ 1, x(5), x(6), x(7), x(0) ^ 1, x(1), x(2), x(3)}
+		for i, b := range bits {
+			want |= b << i
+		}
+		if got != want {
+			t.Fatalf("node %08b: got %08b, want %08b", uint(src), got, want)
+		}
+	}
+}
+
+// TestHypercubeTransposeEmbedding: the pattern is the mesh transpose
+// under an embedding where mesh neighbors are hypercube neighbors, so it
+// must be an involution with 16 fixed points (like the mesh diagonal).
+func TestHypercubeTransposeEmbedding(t *testing.T) {
+	cube := topology.NewHypercube(8)
+	p := NewHypercubeTranspose(cube)
+	fixed := 0
+	for src := topology.NodeID(0); src < 256; src++ {
+		d := p.Dest(src, nil)
+		if d == src {
+			fixed++
+			continue
+		}
+		if p.Dest(d, nil) != src {
+			t.Fatalf("not an involution at %d", src)
+		}
+	}
+	if fixed != 16 {
+		t.Errorf("%d fixed points, want 16", fixed)
+	}
+}
+
+// TestReverseFlip: y_i = ^x_{n-1-i}; involution; 16 fixed points in the
+// 8-cube.
+func TestReverseFlip(t *testing.T) {
+	cube := topology.NewHypercube(8)
+	p := NewReverseFlip(cube)
+	fixed := 0
+	for src := topology.NodeID(0); src < 256; src++ {
+		got := uint(p.Dest(src, nil))
+		var want uint
+		for i := 0; i < 8; i++ {
+			bit := uint(src) >> i & 1
+			want |= (bit ^ 1) << (7 - i)
+		}
+		if got != want {
+			t.Fatalf("node %08b: got %08b, want %08b", uint(src), got, want)
+		}
+		if got == uint(src) {
+			fixed++
+		} else if uint(p.Dest(topology.NodeID(got), nil)) != uint(src) {
+			t.Fatalf("not an involution at %d", src)
+		}
+	}
+	if fixed != 16 {
+		t.Errorf("%d fixed points, want 16", fixed)
+	}
+	// The paper's example: reverse-flip of (x0..x7).
+	src := topology.NodeID(0b00000000)
+	if p.Dest(src, nil) != topology.NodeID(0b11111111) {
+		t.Error("reverse-flip of all-zeros should be all-ones")
+	}
+}
+
+// TestUniformNeverSelf and covers all destinations.
+func TestUniformNeverSelf(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	p := NewUniform(mesh)
+	rng := rand.New(rand.NewSource(1))
+	f := func(raw uint8) bool {
+		src := topology.NodeID(int(raw) % mesh.Nodes())
+		return p.Dest(src, rng) != src
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Coverage: over many draws every other node appears.
+	seen := map[topology.NodeID]bool{}
+	for i := 0; i < 5000; i++ {
+		seen[p.Dest(0, rng)] = true
+	}
+	if len(seen) != mesh.Nodes()-1 {
+		t.Errorf("uniform covered %d destinations, want %d", len(seen), mesh.Nodes()-1)
+	}
+}
+
+// TestBitComplement: involution, never self (every k_i even here), and
+// maximal distance.
+func TestBitComplement(t *testing.T) {
+	mesh := topology.NewMesh(8, 8)
+	p := NewBitComplement(mesh)
+	for src := topology.NodeID(0); src < topology.NodeID(mesh.Nodes()); src++ {
+		d := p.Dest(src, nil)
+		if d == src {
+			t.Fatalf("complement fixed point at %d", src)
+		}
+		if p.Dest(d, nil) != src {
+			t.Fatalf("complement not an involution at %d", src)
+		}
+	}
+	// Corner goes to opposite corner.
+	if p.Dest(mesh.ID(topology.Coord{0, 0}), nil) != mesh.ID(topology.Coord{7, 7}) {
+		t.Error("complement of the origin should be the far corner")
+	}
+}
+
+// TestHotspot: roughly fraction p of messages hit the hot node.
+func TestHotspot(t *testing.T) {
+	mesh := topology.NewMesh(8, 8)
+	hot := mesh.ID(topology.Coord{3, 3})
+	p := NewHotspot(mesh, hot, 0.3)
+	rng := rand.New(rand.NewSource(2))
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.Dest(0, rng) == hot {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	// 30% direct plus ~1/255 of the uniform remainder.
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("hotspot fraction %.3f, want about 0.30", got)
+	}
+	// The hot node itself sends uniformly.
+	if p.Dest(hot, rng) == hot {
+		t.Error("hot node should not send to itself")
+	}
+}
+
+// TestDeterministicFlags.
+func TestDeterministicFlags(t *testing.T) {
+	mesh := topology.NewMesh(16, 16)
+	cube := topology.NewHypercube(8)
+	if NewUniform(mesh).Deterministic() || NewHotspot(mesh, 0, 0.1).Deterministic() {
+		t.Error("stochastic patterns misreport Deterministic")
+	}
+	for _, p := range []Pattern{NewMeshTranspose(mesh), NewHypercubeTranspose(cube), NewReverseFlip(cube), NewBitComplement(mesh)} {
+		if !p.Deterministic() {
+			t.Errorf("%s should be deterministic", p.Name())
+		}
+	}
+}
+
+// TestConstructorPanics.
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"transpose non-square":  func() { NewMeshTranspose(topology.NewMesh(4, 5)) },
+		"transpose 3D":          func() { NewMeshTranspose(topology.NewMesh(4, 4, 4)) },
+		"cube transpose odd":    func() { NewHypercubeTranspose(topology.NewHypercube(7)) },
+		"cube transpose mesh":   func() { NewHypercubeTranspose(topology.NewMesh(4, 4)) },
+		"reverse-flip non-cube": func() { NewReverseFlip(topology.NewMesh(4, 4)) },
+		"hotspot bad p":         func() { NewHotspot(topology.NewMesh(4, 4), 0, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestAveragePathLengthPanicsOnStochastic.
+func TestAveragePathLengthPanicsOnStochastic(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AveragePathLength(mesh, NewUniform(mesh))
+}
+
+// TestTornado: permutation-like offsets; on a torus every message has
+// the same per-dimension offset just under half way.
+func TestTornado(t *testing.T) {
+	tor := topology.NewTorus(8, 2)
+	p := NewTornado(tor)
+	for src := topology.NodeID(0); src < topology.NodeID(tor.Nodes()); src++ {
+		d := p.Dest(src, nil)
+		if d == src {
+			t.Fatalf("tornado fixed point at %d", src)
+		}
+		for dim := 0; dim < 2; dim++ {
+			off := (tor.CoordOf(d, dim) - tor.CoordOf(src, dim) + 8) % 8
+			if off != 3 {
+				t.Fatalf("tornado offset %d, want 3", off)
+			}
+		}
+		// Distance is the near-half-ring distance in each dimension.
+		if tor.Distance(src, d) != 6 {
+			t.Fatalf("tornado distance %d, want 6", tor.Distance(src, d))
+		}
+	}
+	if !p.Deterministic() || p.Name() != "tornado" {
+		t.Error("metadata wrong")
+	}
+}
+
+// TestBitReversalAndShuffle: involutions/permutations on the hypercube.
+func TestBitReversalAndShuffle(t *testing.T) {
+	cube := topology.NewHypercube(8)
+	rev := NewBitReversal(cube)
+	seen := map[topology.NodeID]bool{}
+	for src := topology.NodeID(0); src < 256; src++ {
+		d := rev.Dest(src, nil)
+		if rev.Dest(d, nil) != src {
+			t.Fatalf("bit reversal not an involution at %d", src)
+		}
+		seen[d] = true
+	}
+	if len(seen) != 256 {
+		t.Errorf("bit reversal not a permutation: %d images", len(seen))
+	}
+	sh := NewShuffle(cube)
+	if sh.Dest(0b00000001, nil) != 0b00000010 {
+		t.Error("shuffle should rotate left")
+	}
+	if sh.Dest(0b10000000, nil) != 0b00000001 {
+		t.Error("shuffle should wrap the top bit")
+	}
+	// Applying shuffle n times is the identity.
+	x := topology.NodeID(0b10110010)
+	y := x
+	for i := 0; i < 8; i++ {
+		y = sh.Dest(y, nil)
+	}
+	if y != x {
+		t.Errorf("shuffle^8 should be identity, got %08b", uint(y))
+	}
+	for name, fn := range map[string]func(){
+		"bit-reversal on mesh": func() { NewBitReversal(topology.NewMesh(4, 4)) },
+		"shuffle on mesh":      func() { NewShuffle(topology.NewMesh(4, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

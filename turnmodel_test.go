@@ -1,0 +1,127 @@
+package turnmodel_test
+
+import (
+	"testing"
+
+	"turnmodel"
+)
+
+// TestPublicAPIRoundTrip exercises the whole facade: topology, turn
+// sets, deadlock verification, routing walks, traffic and simulation.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	mesh := turnmodel.NewMesh(8, 8)
+	if mesh.Nodes() != 64 {
+		t.Fatalf("nodes = %d", mesh.Nodes())
+	}
+
+	algs := []turnmodel.Algorithm{
+		turnmodel.NewDimensionOrder(mesh),
+		turnmodel.NewWestFirst(mesh),
+		turnmodel.NewNorthLast(mesh),
+		turnmodel.NewNegativeFirst(mesh),
+	}
+	for _, alg := range algs {
+		res := turnmodel.CheckDeadlockFree(alg)
+		if !res.DeadlockFree {
+			t.Errorf("%s: %v", alg.Name(), res)
+		}
+		path, err := turnmodel.Walk(alg, mesh.ID([]int{6, 1}), mesh.ID([]int{1, 6}), nil)
+		if err != nil {
+			t.Errorf("%s: %v", alg.Name(), err)
+		}
+		if want := mesh.Distance(mesh.ID([]int{6, 1}), mesh.ID([]int{1, 6})); len(path)-1 != want {
+			t.Errorf("%s: %d hops, want %d", alg.Name(), len(path)-1, want)
+		}
+	}
+
+	if turnmodel.CheckDeadlockFree(turnmodel.NewFullyAdaptive(mesh)).DeadlockFree {
+		t.Error("fully adaptive must not be deadlock free")
+	}
+
+	set := turnmodel.WestFirstTurns()
+	if ok, _ := set.BreaksAllAbstractCycles(); !ok {
+		t.Error("west-first set should break both abstract cycles")
+	}
+	custom := turnmodel.NewTurnSetRouting(mesh, set, true)
+	if res := turnmodel.CheckDeadlockFree(custom); !res.DeadlockFree {
+		t.Errorf("turn-set west-first: %v", res)
+	}
+
+	if n := turnmodel.CountShortestPaths(turnmodel.NewWestFirst(mesh),
+		mesh.ID([]int{1, 1}), mesh.ID([]int{4, 4})); n != 20 {
+		t.Errorf("west-first NE-quadrant paths = %d, want C(6,3)=20", n)
+	}
+
+	result, err := turnmodel.Simulate(turnmodel.SimConfig{
+		Algorithm:     turnmodel.NewNegativeFirst(mesh),
+		Pattern:       turnmodel.NewMeshTranspose(mesh),
+		OfferedLoad:   1.0,
+		WarmupCycles:  500,
+		MeasureCycles: 2000,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.PacketsDelivered == 0 || result.Deadlocked {
+		t.Errorf("simulation produced nothing: %+v", result)
+	}
+}
+
+// TestHypercubeFacade covers the hypercube-specific surface.
+func TestHypercubeFacade(t *testing.T) {
+	cube := turnmodel.NewHypercube(6)
+	pc := turnmodel.NewPCube(cube)
+	if pc.Name() != "p-cube" {
+		t.Errorf("name = %q", pc.Name())
+	}
+	if res := turnmodel.CheckDeadlockFree(pc); !res.DeadlockFree {
+		t.Errorf("p-cube: %v", res)
+	}
+	for _, pat := range []turnmodel.Pattern{
+		turnmodel.NewReverseFlip(cube),
+		turnmodel.NewHypercubeTranspose(cube),
+		turnmodel.NewBitComplement(cube),
+		turnmodel.NewUniform(cube),
+		turnmodel.NewHotspot(cube, 0, 0.2),
+	} {
+		if pat.Name() == "" {
+			t.Error("pattern without a name")
+		}
+	}
+	if len(turnmodel.AbstractCycles(6)) != 30 {
+		t.Error("6-cube should have 30 abstract cycles")
+	}
+}
+
+// TestTorusFacade covers the Section 4.2 extensions.
+func TestTorusFacade(t *testing.T) {
+	torus := turnmodel.NewTorus(5, 2)
+	for _, alg := range []turnmodel.Algorithm{
+		turnmodel.NewNegativeFirstTorus(torus),
+		turnmodel.NewWrapFirstHop(turnmodel.NewNegativeFirst(torus)),
+	} {
+		if res := turnmodel.CheckDeadlockFree(alg); !res.DeadlockFree {
+			t.Errorf("%s: %v", alg.Name(), res)
+		}
+	}
+}
+
+// TestFaultFacade: disable a channel and detour with a nonminimal
+// relation via the public API (the faulty example's flow).
+func TestFaultFacade(t *testing.T) {
+	mesh := turnmodel.NewMesh(6, 6)
+	broken := turnmodel.Channel{From: mesh.ID([]int{2, 3}), Dir: turnmodel.Direction{Dim: 0, Pos: true}}
+	mesh.DisableChannel(broken)
+	nonmin := turnmodel.NewTurnSetRouting(mesh, turnmodel.WestFirstTurns(), false)
+	path, err := turnmodel.Walk(nonmin, mesh.ID([]int{0, 3}), mesh.ID([]int{5, 3}), turnmodel.GreedySelector(mesh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path)-1 <= 5 {
+		t.Errorf("detour should exceed the 5-hop minimal distance, took %d", len(path)-1)
+	}
+	if turnmodel.FormatPath(mesh, path) == "" {
+		t.Error("empty formatted path")
+	}
+}
