@@ -27,6 +27,7 @@ import (
 // benchSim runs one simulation per iteration and reports the paper's
 // metrics.
 func benchSim(b *testing.B, cfg sim.Config) {
+	b.ReportAllocs()
 	var last sim.Result
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)

@@ -1,0 +1,142 @@
+// Command benchjson measures the repository's figure benchmarks (the
+// single-load-point renditions of the Section 6 figures that
+// bench_test.go runs) and writes the results as JSON, one record per
+// figure and algorithm with ns/op and allocs/op. The driver writes
+// BENCH_<pr>.json files with it so successive changes have a recorded
+// performance trajectory.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_1.json] [-benchtime 2s] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"turnmodel/internal/exp"
+	"turnmodel/internal/sim"
+)
+
+// figureBenches mirrors the Benchmark* figure entries in bench_test.go:
+// one moderate load point per figure, every algorithm line.
+var figureBenches = []struct {
+	Name  string
+	FigID string
+	Load  float64
+}{
+	{"Fig13UniformMesh", "fig13", 1.25},
+	{"Fig14TransposeMesh", "fig14", 1.75},
+	{"Fig15TransposeCube", "fig15", 2.5},
+	{"Fig16ReverseFlipCube", "fig16", 2.5},
+}
+
+type record struct {
+	Name         string  `json:"name"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	Iterations   int     `json:"iterations"`
+	AvgLatencyUs float64 `json:"latency_us"`
+	Throughput   float64 `json:"tput_flits_per_us"`
+}
+
+type report struct {
+	Schema     string   `json:"schema"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	testing.Init() // registers -test.benchtime, which paces testing.Benchmark
+	out := flag.String("o", "", "output file (default stdout)")
+	benchtime := flag.String("benchtime", "2s", "run time per benchmark: duration or Nx iteration count")
+	quick := flag.Bool("quick", false, "run each benchmark exactly twice instead of for -benchtime")
+	flag.Parse()
+	if *quick {
+		*benchtime = "2x"
+	}
+	if f := flag.Lookup("test.benchtime"); f != nil {
+		if err := f.Value.Set(*benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -benchtime:", err)
+			return 2
+		}
+	}
+
+	rep := report{
+		Schema:     "turnmodel-bench-v1: one op = one full simulation at the figure's load point",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, fb := range figureBenches {
+		f, ok := exp.FigureByID(fb.FigID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: unknown figure %s\n", fb.FigID)
+			return 1
+		}
+		t := f.Topology()
+		pat := f.Pattern(t)
+		for _, alg := range f.Algs(t) {
+			cfg := sim.Config{
+				Algorithm:     alg,
+				Pattern:       pat,
+				OfferedLoad:   fb.Load,
+				WarmupCycles:  2000,
+				MeasureCycles: 6000,
+			}
+			var last sim.Result
+			var simErr error
+			bench := func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					cfg.Seed = int64(i + 1)
+					r, err := sim.Run(cfg)
+					if err != nil {
+						simErr = err
+						b.FailNow()
+					}
+					last = r
+				}
+			}
+			name := fb.Name + "/" + alg.Name()
+			fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", name)
+			res := testing.Benchmark(bench)
+			if simErr != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, simErr)
+				return 1
+			}
+			rep.Benchmarks = append(rep.Benchmarks, record{
+				Name:         name,
+				NsPerOp:      res.NsPerOp(),
+				AllocsPerOp:  res.AllocsPerOp(),
+				BytesPerOp:   res.AllocedBytesPerOp(),
+				Iterations:   res.N,
+				AvgLatencyUs: last.AvgLatency,
+				Throughput:   last.Throughput,
+			})
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}

@@ -19,21 +19,36 @@ import (
 	"time"
 
 	"turnmodel/internal/exp"
+	"turnmodel/internal/prof"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	quick := flag.Bool("quick", false, "shorter simulations and coarser sweeps")
 	seed := flag.Int64("seed", 1, "random seed for the stochastic experiments")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	jsonDir := flag.String("json", "", "also write simulation figures as <dir>/<id>.json")
+	workers := flag.Int("workers", 0, "concurrent simulations across figures and sweeps (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	defer stop()
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -41,10 +56,10 @@ func main() {
 		for _, e := range exp.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
-	opts := exp.Options{Quick: *quick, Seed: *seed}
+	opts := exp.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	var chosen []exp.Experiment
 	if *only == "" {
 		chosen = exp.All()
@@ -53,13 +68,28 @@ func main() {
 			e, ok := exp.ByID(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			chosen = append(chosen, e)
 		}
 	}
 
 	failed := 0
+	// Warm the figure cache for every chosen simulation figure in one
+	// parallel batch; each experiment's own RunFigure then hits the
+	// cache and only renders.
+	var figs []exp.FigureSpec
+	for _, e := range chosen {
+		if f, ok := exp.FigureByID(e.ID); ok {
+			figs = append(figs, f)
+		}
+	}
+	if len(figs) > 1 {
+		if err := exp.PrefetchFigures(opts, figs...); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: prefetch: %v\n", err)
+			failed++
+		}
+	}
 	for _, e := range chosen {
 		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
 		var w io.Writer = os.Stdout
@@ -69,7 +99,7 @@ func main() {
 			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				return 1
 			}
 			w = io.MultiWriter(os.Stdout, f)
 		}
@@ -86,7 +116,7 @@ func main() {
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, e := range chosen {
 			f, ok := exp.FigureByID(e.ID)
@@ -103,7 +133,7 @@ func main() {
 			jf, err := os.Create(filepath.Join(*jsonDir, e.ID+".json"))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				return 1
 			}
 			if err := exp.WriteFigureJSON(jf, f, sweeps); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %s json: %v\n", e.ID, err)
@@ -112,7 +142,12 @@ func main() {
 			jf.Close()
 		}
 	}
-	if failed > 0 {
-		os.Exit(1)
+	if err := prof.WriteHeap(*memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		failed++
 	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }

@@ -16,9 +16,17 @@ import (
 
 	"turnmodel/internal/cli"
 	"turnmodel/internal/exp"
+	"turnmodel/internal/prof"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	topoFlag := flag.String("topo", "mesh16x16", "topology: meshAxB[xC...], cubeN, torusKxN")
 	algFlag := flag.String("alg", "xy,west-first,north-last,negative-first", "comma-separated algorithms")
 	trafficFlag := flag.String("traffic", "uniform", "traffic pattern")
@@ -26,30 +34,51 @@ func main() {
 	warmup := flag.Int64("warmup", 10000, "warmup cycles")
 	measure := flag.Int64("measure", 40000, "measurement cycles")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	saturate := flag.Bool("saturate", false, "bisect for the exact sustainable edge instead of sweeping the grid")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	t, err := cli.ParseTopology(*topoFlag)
-	check(err)
-	pat, err := cli.ParseTraffic(t, *trafficFlag)
-	check(err)
-	loads, err := cli.ParseLoads(*loadsFlag)
-	check(err)
+	stop, err := prof.Start(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer stop()
 
-	opts := exp.Options{Seed: *seed, Warmup: *warmup, Measure: *measure}
+	t, err := cli.ParseTopology(*topoFlag)
+	if err != nil {
+		return err
+	}
+	pat, err := cli.ParseTraffic(t, *trafficFlag)
+	if err != nil {
+		return err
+	}
+	loads, err := cli.ParseLoads(*loadsFlag)
+	if err != nil {
+		return err
+	}
+
+	opts := exp.Options{Seed: *seed, Warmup: *warmup, Measure: *measure, Workers: *workers}
 	for _, name := range strings.Split(*algFlag, ",") {
 		alg, err := cli.ParseAlgorithm(t, strings.TrimSpace(name))
-		check(err)
+		if err != nil {
+			return err
+		}
 		if *saturate {
 			lo, hi := loads[0], loads[len(loads)-1]
 			sat, err := exp.FindSaturation(alg, pat, lo, hi, 8, opts)
-			check(err)
+			if err != nil {
+				return err
+			}
 			fmt.Printf("# %s on %v, %s traffic: sustainable edge at offered %.3f flits/us/node, throughput %.1f flits/us, latency %.2f us\n",
 				alg.Name(), t, pat.Name(), sat.Load, sat.Throughput, sat.Result.AvgLatency)
 			continue
 		}
 		sw, err := exp.RunSweep(alg, pat, loads, opts)
-		check(err)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("# %s on %v, %s traffic\n", alg.Name(), t, pat.Name())
 		fmt.Printf("%-10s %-12s %-10s %-12s %-6s %s\n",
 			"offered", "throughput", "latency", "net-latency", "hops", "sustainable")
@@ -65,11 +94,5 @@ func main() {
 		thr, at := sw.MaxSustainable()
 		fmt.Printf("# max sustainable throughput: %.1f flits/us at offered %.2f\n\n", thr, at)
 	}
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
-	}
+	return prof.WriteHeap(*memprofile)
 }

@@ -29,6 +29,18 @@ type Options struct {
 	Loads []float64
 	// Warmup and Measure override the simulation window in cycles.
 	Warmup, Measure int64
+	// Workers bounds the simulations run concurrently across figures,
+	// algorithm lines and load points (0 means GOMAXPROCS). Results are
+	// bit-identical for any value: every simulation has its own seeded
+	// generator and lands in a preassigned slot.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) warmup() int64 {
@@ -157,12 +169,20 @@ func (s Sweep) MaxSustainable() (thr, load float64) {
 }
 
 // RunSweep measures one latency-throughput curve. The load points are
-// independent simulations and run in parallel, bounded by GOMAXPROCS;
-// results are deterministic regardless (each point has its own seeded
-// generator).
+// independent simulations and run in parallel, bounded by
+// Options.Workers; results are deterministic regardless (each point has
+// its own seeded generator).
 func RunSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Options) (Sweep, error) {
+	return runSweep(alg, pat, loads, o, make(chan struct{}, o.workers()))
+}
+
+// runSweep measures one curve with concurrency bounded by sem. The
+// semaphore is acquired only around each leaf simulation — never by a
+// goroutine that waits on other goroutines — so a single semaphore can
+// be shared across nested figure/algorithm/load fan-out without
+// deadlock.
+func runSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Options, sem chan struct{}) (Sweep, error) {
 	s := Sweep{Algorithm: alg.Name(), Points: make([]SweepPoint, len(loads))}
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -301,9 +321,15 @@ var (
 	sweepCache = map[string][]Sweep{}
 )
 
+func cacheKey(f FigureSpec, o Options) string {
+	// Workers is deliberately absent: the results are bit-identical for
+	// any worker count, so concurrency never splits the cache.
+	return fmt.Sprintf("%s/%d/%v/%v/%d/%d", f.ID, o.Seed, o.Quick, o.Loads, o.Warmup, o.Measure)
+}
+
 // RunFigure runs (or returns cached) sweeps for a figure spec.
 func RunFigure(f FigureSpec, o Options) ([]Sweep, error) {
-	key := fmt.Sprintf("%s/%d/%v/%v/%d/%d", f.ID, o.Seed, o.Quick, o.Loads, o.Warmup, o.Measure)
+	key := cacheKey(f, o)
 	sweepMu.Lock()
 	if s, ok := sweepCache[key]; ok {
 		sweepMu.Unlock()
@@ -311,21 +337,80 @@ func RunFigure(f FigureSpec, o Options) ([]Sweep, error) {
 	}
 	sweepMu.Unlock()
 
-	t := f.Topology()
-	pat := f.Pattern(t)
-	loads := o.loads(f.Loads)
-	var sweeps []Sweep
-	for _, alg := range f.Algs(t) {
-		s, err := RunSweep(alg, pat, loads, o)
-		if err != nil {
-			return nil, err
-		}
-		sweeps = append(sweeps, s)
+	sweeps, err := runFigure(f, o, make(chan struct{}, o.workers()))
+	if err != nil {
+		return nil, err
 	}
 	sweepMu.Lock()
 	sweepCache[key] = sweeps
 	sweepMu.Unlock()
 	return sweeps, nil
+}
+
+// runFigure measures every algorithm line of a figure, uncached. The
+// lines run in parallel, each fanning out over its load points; sem
+// bounds the total number of concurrent simulations.
+func runFigure(f FigureSpec, o Options, sem chan struct{}) ([]Sweep, error) {
+	t := f.Topology()
+	pat := f.Pattern(t)
+	loads := o.loads(f.Loads)
+	algs := f.Algs(t)
+	sweeps := make([]Sweep, len(algs))
+	errs := make([]error, len(algs))
+	var wg sync.WaitGroup
+	for i, alg := range algs {
+		wg.Add(1)
+		go func(i int, alg routing.Algorithm) {
+			defer wg.Done()
+			sweeps[i], errs[i] = runSweep(alg, pat, loads, o, sem)
+		}(i, alg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sweeps, nil
+}
+
+// PrefetchFigures runs several figures concurrently — figures, algorithm
+// lines and load points all fan out over one worker pool of
+// o.workers() simulations — and fills the figure cache, so subsequent
+// RunFigure calls return instantly. Results are bit-identical to
+// sequential RunFigure calls.
+func PrefetchFigures(o Options, figs ...FigureSpec) error {
+	sem := make(chan struct{}, o.workers())
+	errs := make([]error, len(figs))
+	var wg sync.WaitGroup
+	for i, f := range figs {
+		key := cacheKey(f, o)
+		sweepMu.Lock()
+		_, cached := sweepCache[key]
+		sweepMu.Unlock()
+		if cached {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, f FigureSpec, key string) {
+			defer wg.Done()
+			sweeps, err := runFigure(f, o, sem)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sweepMu.Lock()
+			sweepCache[key] = sweeps
+			sweepMu.Unlock()
+		}(i, f, key)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteFigure renders a figure's series in the paper's axes: average

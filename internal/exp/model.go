@@ -497,8 +497,19 @@ type ClaimResult struct {
 // RunClaims computes the Section 6 sustainable-throughput ratios from
 // the figure sweeps.
 func RunClaims(o Options) ([]ClaimResult, error) {
+	claimFigs := []string{"fig13", "fig14", "fig15", "fig16", "fig13c"}
+	// Warm the figure cache with every claim figure in one parallel
+	// batch; the RunFigure calls below then hit the cache.
+	var specs []FigureSpec
+	for _, id := range claimFigs {
+		f, _ := FigureByID(id)
+		specs = append(specs, f)
+	}
+	if err := PrefetchFigures(o, specs...); err != nil {
+		return nil, err
+	}
 	best := map[string]map[string]float64{} // figID -> alg -> max sustainable
-	for _, id := range []string{"fig13", "fig14", "fig15", "fig16", "fig13c"} {
+	for _, id := range claimFigs {
 		f, _ := FigureByID(id)
 		sweeps, err := RunFigure(f, o)
 		if err != nil {

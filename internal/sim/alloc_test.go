@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+// TestAllocateZeroAllocs: the allocation phase must perform zero heap
+// allocations per cycle in steady state — candidate caches, the waiting
+// buffer and the filter scratch are all engine-owned and reused. The
+// worklist is forced full each run so the measurement covers the
+// worst-case full scan, not just the event-driven fast path.
+func TestAllocateZeroAllocs(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	e, err := New(Config{
+		Algorithm:     routing.NewNegativeFirst(topo),
+		Pattern:       traffic.NewUniform(topo),
+		OfferedLoad:   2.0,
+		WarmupCycles:  1 << 30, // never start measuring: histograms may allocate
+		MeasureCycles: 1,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		e.step(nil)
+		e.cycle++
+	}
+	if e.inFlight == 0 {
+		t.Fatal("no traffic in flight after warmup; test would be vacuous")
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		e.allocWork.setAll(e.topo.Nodes())
+		e.allocate()
+	})
+	if avg != 0 {
+		t.Errorf("allocate() performs %.2f heap allocations per cycle, want 0", avg)
+	}
+}
+
+// fanVC widens a single-VC relation to vcs virtual channels per
+// direction, enough to push an 8-cube past 64 virtual ports per router.
+type fanVC struct {
+	routing.Algorithm
+	vcs int
+}
+
+func (f fanVC) NumVCs() int { return f.vcs }
+
+func (f fanVC) CandidatesVC(cur, dst topology.NodeID, in routing.VCInPort, buf []routing.VirtualDirection) []routing.VirtualDirection {
+	var ip routing.InPort
+	if in.Injected {
+		ip = routing.Injected
+	} else {
+		ip = routing.Arrived(in.Dir)
+	}
+	var tmp [16]topology.Direction
+	for _, d := range f.Algorithm.Candidates(cur, dst, ip, tmp[:0]) {
+		for vc := 0; vc < f.vcs; vc++ {
+			buf = append(buf, routing.VirtualDirection{Dir: d, VC: vc})
+		}
+	}
+	return buf
+}
+
+// TestManyVirtualPorts: an 8-cube with 4 virtual channels has
+// 2·8·4+1 = 65 virtual ports per router, which overflowed the engine's
+// old fixed-size 64-entry waiting buffer (the engine refused such
+// configurations). The waiting set is now sized from vport.
+func TestManyVirtualPorts(t *testing.T) {
+	topo := topology.NewHypercube(8)
+	res, err := Run(Config{
+		VCAlgorithm: fanVC{routing.NewDimensionOrder(topo), 4},
+		Script: []ScriptedMessage{
+			{Cycle: 0, Src: 0, Dst: 255, Length: 20},
+			{Cycle: 0, Src: 255, Dst: 0, Length: 20},
+			{Cycle: 5, Src: 3, Dst: 252, Length: 20},
+		},
+	})
+	if err != nil {
+		t.Fatalf("New rejected a 65-virtual-port configuration: %v", err)
+	}
+	if res.Deadlocked || res.PacketsDelivered != 3 {
+		t.Errorf("bad 65-port run: %+v", res)
+	}
+}

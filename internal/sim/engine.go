@@ -37,6 +37,17 @@ type flit struct {
 	tail bool
 }
 
+// cachedCand is one pre-filtered routing candidate for the packet whose
+// header waits at the front of an input buffer: the virtual direction,
+// its resolved global output index, and whether taking it reduces the
+// distance to the destination. Candidates are cached per (input buffer,
+// packet, fault epoch); only the output-busy check remains per cycle.
+type cachedCand struct {
+	vd   routing.VirtualDirection
+	out  int32
+	prof bool
+}
+
 // inbuf is the buffer of one router input channel (one per virtual
 // channel of each physical input, plus the injection channel).
 type inbuf struct {
@@ -44,9 +55,20 @@ type inbuf struct {
 	// allocOut is the global output index held by the packet currently
 	// flowing through this input, or -1.
 	allocOut int32
+	// port is the virtual port index of this buffer within its router
+	// (vport-1 is the injection channel).
+	port int32
 	// headArrival is the cycle the current header flit arrived, the key
 	// of the local first-come-first-served input selection policy.
 	headArrival int64
+
+	// cands caches the filtered routing candidates for the header at the
+	// front of this buffer. It is valid while candPkt matches that
+	// header's packet and candEpoch matches the topology fault epoch; a
+	// new header (new packet id) or a fault-state change invalidates it.
+	cands     []cachedCand
+	candPkt   int64
+	candEpoch int32
 }
 
 // Engine runs one simulation. Construct with New, then call Run.
@@ -74,6 +96,7 @@ type Engine struct {
 	linkUsed []bool  // physical link used this cycle, router*nphys+phys
 	outDest  []int32 // virtual output port -> downstream input index, -1 ejection
 	upOut    []int32 // input index -> upstream virtual output index, -1 injection
+	physOf   []int32 // virtual output port -> physical link slot in linkUsed
 
 	queues   [][]*packet // per-node source queues
 	nextGen  []float64   // per-node next generation time in cycles
@@ -90,6 +113,35 @@ type Engine struct {
 	work    []int32
 	inWork  []bool
 	injUsed []bool // injection channel used this cycle, per injection input
+
+	// flowing marks the inputs the movement phase must attempt: a queued
+	// flit with an allocated output. Maintained incrementally so move
+	// seeds its worklist from active inputs instead of scanning every
+	// buffer (see DESIGN.md, "Performance architecture").
+	flowing bitset
+
+	// allocWork marks routers that may hold a header awaiting output
+	// allocation. Bits are set when a header reaches the front of an
+	// input buffer and when one of the router's outputs is released, and
+	// cleared when a visit finds nothing that could allocate before the
+	// next such event.
+	allocWork bitset
+	// lastFaultEpoch detects mid-run fault-state changes, which force a
+	// full allocation rescan and invalidate candidate caches.
+	lastFaultEpoch int32
+
+	// dirtyLinks and dirtyInj record which linkUsed/injUsed entries were
+	// set this cycle, so the per-cycle reset touches only those.
+	dirtyLinks []int32
+	dirtyInj   []int32
+
+	// Allocation-phase scratch, reused every cycle so the steady-state
+	// hot path performs no heap allocations.
+	waiting     []int32                    // inputs with an eligible header, len vport
+	rawCands    []routing.VirtualDirection // CandidatesVC result buffer
+	freeCands   []cachedCand               // candidates whose output is free
+	profCands   []cachedCand               // distance-reducing subset
+	seedScratch []int32                    // move seeding order buffer (vcs > 1)
 
 	// linkFlits counts flits carried per physical link during the
 	// measurement window, for utilization reporting.
@@ -133,36 +185,45 @@ func New(cfg Config) (*Engine, error) {
 	}
 	ndim2 := 2 * t.NumDims()
 	vport := ndim2*vcs + 1
-	if vport > 64 {
-		return nil, fmt.Errorf("sim: %d virtual ports per router exceeds the supported 64", vport)
-	}
 	n := t.Nodes()
 	e := &Engine{
-		cfg:       c,
-		topo:      t,
-		alg:       alg,
-		rng:       rand.New(rand.NewSource(c.Seed)),
-		vcs:       vcs,
-		vport:     vport,
-		nphys:     ndim2 + 1,
-		depth:     c.effectiveDepth(),
-		inbufs:    make([]inbuf, n*vport),
-		busyBy:    make([]int32, n*vport),
-		linkUsed:  make([]bool, n*(ndim2+1)),
-		linkFlits: make([]int64, n*(ndim2+1)),
-		outDest:   make([]int32, n*vport),
-		upOut:     make([]int32, n*vport),
-		queues:    make([][]*packet, n),
-		injUsed:   make([]bool, n*vport),
-		nextGen:   make([]float64, n),
-		inWork:    make([]bool, n*vport),
-		script:    c.Script,
+		cfg:            c,
+		topo:           t,
+		alg:            alg,
+		rng:            rand.New(rand.NewSource(c.Seed)),
+		vcs:            vcs,
+		vport:          vport,
+		nphys:          ndim2 + 1,
+		depth:          c.effectiveDepth(),
+		inbufs:         make([]inbuf, n*vport),
+		busyBy:         make([]int32, n*vport),
+		linkUsed:       make([]bool, n*(ndim2+1)),
+		linkFlits:      make([]int64, n*(ndim2+1)),
+		outDest:        make([]int32, n*vport),
+		upOut:          make([]int32, n*vport),
+		physOf:         make([]int32, n*vport),
+		queues:         make([][]*packet, n),
+		injUsed:        make([]bool, n*vport),
+		nextGen:        make([]float64, n),
+		inWork:         make([]bool, n*vport),
+		flowing:        newBitset(n * vport),
+		allocWork:      newBitset(n),
+		lastFaultEpoch: int32(t.FaultEpoch()),
+		waiting:        make([]int32, vport),
+		rawCands:       make([]routing.VirtualDirection, 0, ndim2*vcs),
+		freeCands:      make([]cachedCand, 0, ndim2*vcs),
+		profCands:      make([]cachedCand, 0, ndim2*vcs),
+		script:         c.Script,
 	}
 	for i := range e.busyBy {
 		e.busyBy[i] = -1
 		e.outDest[i] = -1
 		e.upOut[i] = -1
-		e.inbufs[i].allocOut = -1
+		e.physOf[i] = e.physIndex(int32(i))
+		b := &e.inbufs[i]
+		b.allocOut = -1
+		b.port = int32(i % vport)
+		b.candPkt = -1
 	}
 	for v := 0; v < n; v++ {
 		for di := 0; di < ndim2; di++ {
@@ -205,14 +266,14 @@ func (e *Engine) injectionIn(v topology.NodeID) int32 { return int32(int(v)*e.vp
 func (e *Engine) ejectionOut(v topology.NodeID) int32 { return e.injectionIn(v) }
 
 // physIndex maps a global virtual output index to its physical link slot
-// in linkUsed.
-func (e *Engine) physIndex(out int32) int {
+// in linkUsed. New precomputes it into physOf; the hot path uses that.
+func (e *Engine) physIndex(out int32) int32 {
 	r := int(out) / e.vport
 	p := int(out) % e.vport
 	if p == e.vport-1 {
-		return r*e.nphys + e.nphys - 1 // ejection channel
+		return int32(r*e.nphys + e.nphys - 1) // ejection channel
 	}
-	return r*e.nphys + p/e.vcs
+	return int32(r*e.nphys + p/e.vcs)
 }
 
 func (e *Engine) generate() {
@@ -281,138 +342,207 @@ func (e *Engine) drawLength() int {
 // header flit requests a virtual output channel; per router, headers are
 // served in the input selection policy's order and pick among the
 // still-free permitted outputs with the output selection policy.
+//
+// Only routers on the allocation worklist are visited. A router leaves
+// the worklist when none of its headers could possibly allocate before
+// the next wake-up event (header arrival or output release at that
+// router); see DESIGN.md, "Performance architecture", for the exact
+// invariants.
 func (e *Engine) allocate() {
-	t := e.topo
-	var waiting [64]int32
-	var cands []routing.VirtualDirection
-	for v := 0; v < t.Nodes(); v++ {
-		base := v * e.vport
-		nw := 0
-		for p := 0; p < e.vport; p++ {
-			b := &e.inbufs[base+p]
-			if b.allocOut < 0 && len(b.q) > 0 && b.q[0].head &&
-				e.cycle-b.headArrival > e.cfg.RouterDelay {
-				waiting[nw] = int32(base + p)
-				nw++
-			}
+	epoch := int32(e.topo.FaultEpoch())
+	if epoch != e.lastFaultEpoch {
+		// Fault state changed mid-run: every blocked header may have
+		// gained or lost candidates, so rescan everything once. The
+		// per-buffer candidate caches self-invalidate via candEpoch.
+		e.allocWork.setAll(e.topo.Nodes())
+		e.lastFaultEpoch = epoch
+	}
+	e.allocWork.forEach(func(v int32) {
+		if !e.allocateRouter(int(v), epoch) {
+			e.allocWork.clear(v)
 		}
-		if nw == 0 {
+	})
+}
+
+// allocateRouter serves router v's waiting headers and reports whether
+// the router must stay on the allocation worklist (a pending header
+// whose eligibility or patience is time-driven, or — under the
+// random-input policy — any unallocated header, so the arbitration
+// random stream matches a full rescan exactly).
+func (e *Engine) allocateRouter(v int, epoch int32) bool {
+	base := v * e.vport
+	nw := 0
+	keep := false
+	for p := 0; p < e.vport; p++ {
+		b := &e.inbufs[base+p]
+		if b.allocOut >= 0 || len(b.q) == 0 || !b.q[0].head {
 			continue
 		}
-		w := waiting[:nw]
-		switch e.cfg.Input {
-		case LocalFCFS:
-			sort.SliceStable(w, func(i, j int) bool {
-				return e.inbufs[w[i]].headArrival < e.inbufs[w[j]].headArrival
-			})
-		case RandomInput:
-			e.rng.Shuffle(nw, func(i, j int) { w[i], w[j] = w[j], w[i] })
-		case PortOrder:
-			// Already in ascending port order.
+		if e.cycle-b.headArrival > e.cfg.RouterDelay {
+			e.waiting[nw] = int32(base + p)
+			nw++
+		} else {
+			keep = true // header present, router delay not yet expired
 		}
-		for _, in := range w {
-			b := &e.inbufs[in]
-			pkt := b.q[0].p
-			if pkt.dst == topology.NodeID(v) {
-				out := e.ejectionOut(topology.NodeID(v))
-				if e.busyBy[out] < 0 {
-					e.busyBy[out] = in
-					b.allocOut = out
-					if e.cfg.Observer != nil {
-						e.cfg.Observer.Allocate(e.cycle, topology.NodeID(v), topology.Direction{}, 0, true)
-					}
-				}
-				continue
+	}
+	if nw == 0 {
+		return keep
+	}
+	w := e.waiting[:nw]
+	switch e.cfg.Input {
+	case LocalFCFS:
+		// Stable insertion sort by arrival time: ties keep ascending
+		// port order, matching the paper's local FCFS with port-index
+		// tie-break. Inline to keep the hot path allocation-free.
+		for i := 1; i < nw; i++ {
+			x := w[i]
+			key := e.inbufs[x].headArrival
+			j := i
+			for j > 0 && e.inbufs[w[j-1]].headArrival > key {
+				w[j] = w[j-1]
+				j--
 			}
-			port := int(in) - base
-			var inp routing.VCInPort
-			if port == e.vport-1 {
-				inp = routing.VCInjected
+			w[j] = x
+		}
+	case RandomInput:
+		e.rng.Shuffle(nw, func(i, j int) { w[i], w[j] = w[j], w[i] })
+	case PortOrder:
+		// Already in ascending port order.
+	}
+	blocked := 0
+	for _, in := range w {
+		b := &e.inbufs[in]
+		pkt := b.q[0].p
+		if pkt.dst == topology.NodeID(v) {
+			out := e.ejectionOut(topology.NodeID(v))
+			if e.busyBy[out] < 0 {
+				e.busyBy[out] = in
+				b.allocOut = out
+				e.flowing.set(in)
+				if e.cfg.Observer != nil {
+					e.cfg.Observer.Allocate(e.cycle, topology.NodeID(v), topology.Direction{}, 0, true)
+				}
 			} else {
-				inp = routing.VCInPort{
-					Dir: topology.DirectionFromIndex(port / e.vcs),
-					VC:  port % e.vcs,
+				blocked++
+			}
+			continue
+		}
+		if b.candPkt != pkt.id || b.candEpoch != epoch {
+			e.fillCandCache(v, b, pkt, epoch)
+		}
+		// Keep only candidates whose virtual output channel is free;
+		// existence, virtual-channel validity and fault state were
+		// filtered into the cache.
+		free := e.freeCands[:0]
+		for i := range b.cands {
+			if e.busyBy[b.cands[i].out] < 0 {
+				free = append(free, b.cands[i])
+			}
+		}
+		if len(free) == 0 {
+			blocked++
+			continue
+		}
+		// With misroute patience configured, prefer distance-reducing
+		// ("profitable") outputs and permit a detour only after the
+		// header has waited long enough.
+		pick := free
+		if e.cfg.MisrouteAfter > 0 {
+			prof := e.profCands[:0]
+			for i := range free {
+				if free[i].prof {
+					prof = append(prof, free[i])
 				}
 			}
-			cands = e.alg.CandidatesVC(topology.NodeID(v), pkt.dst, inp, cands[:0])
-			if inp.Injected && pkt.firstDir != nil {
-				// Scripted first hop: honor it when offered.
-				kept := cands[:0]
-				for _, vd := range cands {
-					if vd.Dir == *pkt.firstDir {
-						kept = append(kept, vd)
-					}
-				}
-				if len(kept) > 0 {
-					cands = kept
-				}
-			}
-			// Keep only candidates whose virtual output channel is free
-			// and whose physical channel is enabled.
-			free := cands[:0]
-			for _, vd := range cands {
-				if vd.VC < 0 || vd.VC >= e.vcs {
-					continue
-				}
-				out := int32(base + vd.Dir.Index()*e.vcs + vd.VC)
-				if e.busyBy[out] >= 0 || e.outDest[out] < 0 {
-					continue
-				}
-				if !t.Enabled(topology.Channel{From: topology.NodeID(v), Dir: vd.Dir}) {
-					continue
-				}
-				free = append(free, vd)
-			}
-			if len(free) == 0 {
+			if len(prof) > 0 {
+				pick = prof
+			} else if e.cycle-b.headArrival < e.cfg.MisrouteAfter {
+				keep = true // wait for the patience to run out
 				continue
 			}
-			// With misroute patience configured, prefer distance-reducing
-			// ("profitable") outputs and permit a detour only after the
-			// header has waited long enough.
-			pick := free
-			if e.cfg.MisrouteAfter > 0 {
-				profitable := e.profitable(topology.NodeID(v), pkt.dst, free)
-				if len(profitable) > 0 {
-					pick = profitable
-				} else if e.cycle-b.headArrival < e.cfg.MisrouteAfter {
-					continue // wait for the patience to run out
-				}
-			}
-			vd := e.chooseVC(pick)
-			out := int32(base + vd.Dir.Index()*e.vcs + vd.VC)
-			e.busyBy[out] = in
-			b.allocOut = out
-			if e.cfg.Observer != nil {
-				e.cfg.Observer.Allocate(e.cycle, topology.NodeID(v), vd.Dir, vd.VC, false)
-			}
+		}
+		var c cachedCand
+		switch e.cfg.Policy {
+		case LowestDimension:
+			c = pick[0] // candidates arrive in ascending dimension order
+		case HighestDimension:
+			c = pick[len(pick)-1]
+		default:
+			c = pick[e.rng.Intn(len(pick))]
+		}
+		e.busyBy[c.out] = in
+		b.allocOut = c.out
+		e.flowing.set(in)
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.Allocate(e.cycle, topology.NodeID(v), c.vd.Dir, c.vd.VC, false)
 		}
 	}
+	if blocked > 0 && e.cfg.Input == RandomInput {
+		// The random-input arbitration consumes one shuffle per visited
+		// router with waiting headers per cycle; keep visiting so the
+		// random stream is identical to a full rescan.
+		keep = true
+	}
+	return keep
 }
 
-// profitable filters candidates to those that reduce the distance to
-// dst, reusing the tail of cands as scratch (callers pass a slice they
-// own).
-func (e *Engine) profitable(cur, dst topology.NodeID, cands []routing.VirtualDirection) []routing.VirtualDirection {
-	out := cands[len(cands):]
-	base := e.topo.Distance(cur, dst)
-	for _, vd := range cands {
-		if next, ok := e.topo.Neighbor(cur, vd.Dir); ok && e.topo.Distance(next, dst) < base {
-			out = append(out, vd)
+// fillCandCache computes and caches the filtered routing candidates for
+// the header of packet pkt waiting at the front of input buffer b of
+// router v. The cache keeps every candidate that exists, has a valid
+// virtual channel, and is not faulty; per-cycle allocation then only
+// checks output busyness.
+func (e *Engine) fillCandCache(v int, b *inbuf, pkt *packet, epoch int32) {
+	var inp routing.VCInPort
+	if int(b.port) == e.vport-1 {
+		inp = routing.VCInjected
+	} else {
+		inp = routing.VCInPort{
+			Dir: topology.DirectionFromIndex(int(b.port) / e.vcs),
+			VC:  int(b.port) % e.vcs,
 		}
 	}
-	return out
-}
-
-// chooseVC applies the output selection policy to virtual directions.
-func (e *Engine) chooseVC(cands []routing.VirtualDirection) routing.VirtualDirection {
-	switch e.cfg.Policy {
-	case LowestDimension:
-		return cands[0] // candidates arrive in ascending dimension order
-	case HighestDimension:
-		return cands[len(cands)-1]
-	default:
-		return cands[e.rng.Intn(len(cands))]
+	cur := topology.NodeID(v)
+	raw := e.alg.CandidatesVC(cur, pkt.dst, inp, e.rawCands[:0])
+	e.rawCands = raw[:0]
+	if inp.Injected && pkt.firstDir != nil {
+		// Scripted first hop: honor it when offered.
+		kept := raw[:0]
+		for _, vd := range raw {
+			if vd.Dir == *pkt.firstDir {
+				kept = append(kept, vd)
+			}
+		}
+		if len(kept) > 0 {
+			raw = kept
+		}
 	}
+	base := v * e.vport
+	baseDist := 0
+	if e.cfg.MisrouteAfter > 0 {
+		baseDist = e.topo.Distance(cur, pkt.dst)
+	}
+	b.cands = b.cands[:0]
+	for _, vd := range raw {
+		if vd.VC < 0 || vd.VC >= e.vcs {
+			continue
+		}
+		out := int32(base + vd.Dir.Index()*e.vcs + vd.VC)
+		if e.outDest[out] < 0 {
+			continue
+		}
+		if !e.topo.Enabled(topology.Channel{From: cur, Dir: vd.Dir}) {
+			continue
+		}
+		prof := false
+		if e.cfg.MisrouteAfter > 0 {
+			if next, ok := e.topo.Neighbor(cur, vd.Dir); ok && e.topo.Distance(next, pkt.dst) < baseDist {
+				prof = true
+			}
+		}
+		b.cands = append(b.cands, cachedCand{vd: vd, out: out, prof: prof})
+	}
+	b.candPkt = pkt.id
+	b.candEpoch = epoch
 }
 
 // pushWork schedules input buffer in for a movement attempt this cycle.
@@ -423,44 +553,71 @@ func (e *Engine) pushWork(in int32) {
 	}
 }
 
+// pushAllocWork wakes router r's allocation scan: a header reached the
+// front of one of its input buffers, or one of its outputs was released.
+func (e *Engine) pushAllocWork(r int32) { e.allocWork.set(r) }
+
+// seedMoveWork pushes every flowing input onto the movement worklist in
+// the fixed arbitration order: routers ascending, physical directions
+// ascending, injection channel last. Within each physical direction the
+// preferred virtual channel is pushed last (the worklist pops LIFO) and
+// the preference rotates with the cycle, a round-robin that prevents one
+// virtual channel from starving the other.
+func (e *Engine) seedMoveWork() {
+	if e.vcs == 1 {
+		// One virtual channel: ascending input order is exactly the
+		// arbitration order.
+		e.flowing.forEach(e.pushWork)
+		return
+	}
+	buf := e.seedScratch[:0]
+	e.flowing.forEach(func(i int32) { buf = append(buf, i) })
+	e.seedScratch = buf[:0]
+	rot := int(e.cycle) % e.vcs
+	for idx := 0; idx < len(buf); {
+		i := buf[idx]
+		port := int(i) % e.vport
+		if port == e.vport-1 {
+			e.pushWork(i)
+			idx++
+			continue
+		}
+		// Gather this physical direction's flowing virtual channels
+		// (consecutive indices) and push them in rotated order.
+		dirBase := i - int32(port%e.vcs)
+		end := idx
+		for end < len(buf) && buf[end] < dirBase+int32(e.vcs) {
+			end++
+		}
+		for k := e.vcs - 1; k >= 0; k-- {
+			want := dirBase + int32((rot+k)%e.vcs)
+			for g := idx; g < end; g++ {
+				if buf[g] == want {
+					e.pushWork(want)
+					break
+				}
+			}
+		}
+		idx = end
+	}
+}
+
 // move runs the switch/link traversal phase. Each physical link carries
 // at most one flit per cycle; virtual channels sharing a link are served
-// in an order that rotates with the cycle count, a round-robin that
-// prevents one virtual channel from starving the other. In chained mode,
+// in an order that rotates with the cycle count. In chained mode,
 // freeing a buffer slot immediately lets the upstream flit advance into
 // it (the worm moves as a synchronized train); in strict mode only space
 // available at the start of the cycle counts.
 func (e *Engine) move(lenStart []int32) {
-	strict := e.cfg.StrictAdvance
-	if strict {
+	if e.cfg.StrictAdvance {
 		for i := range e.inbufs {
 			lenStart[i] = int32(len(e.inbufs[i].q))
 		}
 	}
+	// inWork is all-false here: the previous drain popped (and cleared)
+	// every entry it pushed.
 	e.work = e.work[:0]
-	for i := range e.inbufs {
-		e.inWork[i] = false
-	}
-	// The worklist is processed LIFO, so within each physical direction
-	// push the preferred virtual channel last. The preference rotates
-	// with the cycle.
-	rot := int(e.cycle) % e.vcs
-	for r := 0; r < e.topo.Nodes(); r++ {
-		base := r * e.vport
-		for di := 0; di < e.nphys-1; di++ {
-			for k := e.vcs - 1; k >= 0; k-- {
-				vc := (rot + k) % e.vcs
-				i := int32(base + di*e.vcs + vc)
-				if len(e.inbufs[i].q) > 0 && e.inbufs[i].allocOut >= 0 {
-					e.pushWork(i)
-				}
-			}
-		}
-		i := int32(base + e.vport - 1)
-		if len(e.inbufs[i].q) > 0 && e.inbufs[i].allocOut >= 0 {
-			e.pushWork(i)
-		}
-	}
+	e.seedMoveWork()
 	// Source-queue injections are attempted for every nonempty queue.
 	for v := range e.queues {
 		if len(e.queues[v]) > 0 {
@@ -494,15 +651,22 @@ func (e *Engine) tryInject(v topology.NodeID, lenStart []int32) {
 	p := q[0]
 	f := flit{p: p, head: p.flitsSent == 0, tail: p.flitsSent == p.length-1}
 	b.q = append(b.q, f)
+	if b.allocOut >= 0 {
+		e.flowing.set(in)
+	}
 	if f.head {
 		b.headArrival = e.cycle
 		p.injectCycle = e.cycle
+		if len(b.q) == 1 {
+			e.pushAllocWork(int32(v))
+		}
 		if e.cfg.Observer != nil {
 			e.cfg.Observer.Inject(e.cycle, p.src, p.dst, p.length)
 		}
 	}
 	p.flitsSent++
 	e.injUsed[in] = true
+	e.dirtyInj = append(e.dirtyInj, in)
 	e.lastMove = e.cycle
 	if f.tail {
 		e.queues[v] = q[1:]
@@ -521,8 +685,8 @@ func (e *Engine) hasSpace(in int32, b *inbuf, lenStart []int32) bool {
 // packet until its tail flit has arrived; wormhole and virtual
 // cut-through forward immediately. Injection buffers are exempt (the
 // source queue is the source node's packet store).
-func (e *Engine) readyToForward(in int32, b *inbuf) bool {
-	if !e.cfg.holdsWholePacket() || int(in)%e.vport == e.vport-1 {
+func (e *Engine) readyToForward(b *inbuf) bool {
+	if !e.cfg.holdsWholePacket() || int(b.port) == e.vport-1 {
 		return true
 	}
 	front := b.q[0].p
@@ -541,11 +705,11 @@ func (e *Engine) moveOne(in int32, lenStart []int32) {
 		return
 	}
 	out := b.allocOut
-	phys := e.physIndex(out)
+	phys := e.physOf[out]
 	if e.linkUsed[phys] {
 		return
 	}
-	if !e.readyToForward(in, b) {
+	if !e.readyToForward(b) {
 		return
 	}
 	f := b.q[0]
@@ -553,17 +717,21 @@ func (e *Engine) moveOne(in int32, lenStart []int32) {
 	if dest < 0 {
 		// Ejection: the destination processor consumes immediately.
 		e.linkUsed[phys] = true
+		e.dirtyLinks = append(e.dirtyLinks, phys)
 		if e.stats.measuring {
 			e.linkFlits[phys]++
 		}
-		e.popFront(b)
+		e.popFront(in, b)
 		f.p.flitsDelivered++
 		e.lastMove = e.cycle
 		if f.tail {
 			e.deliver(f.p)
 			e.release(in, out)
+			if len(b.q) > 0 && b.q[0].head {
+				e.pushAllocWork(int32(int(in) / e.vport))
+			}
 		}
-		e.cascade(in)
+		e.cascade(in, b)
 		e.countDeliveredFlit()
 		return
 	}
@@ -572,6 +740,7 @@ func (e *Engine) moveOne(in int32, lenStart []int32) {
 		return
 	}
 	e.linkUsed[phys] = true
+	e.dirtyLinks = append(e.dirtyLinks, phys)
 	if e.stats.measuring {
 		e.linkFlits[phys]++
 	}
@@ -582,39 +751,54 @@ func (e *Engine) moveOne(in int32, lenStart []int32) {
 			Dir:  topology.DirectionFromIndex(p / e.vcs),
 		}, p%e.vcs, f.head, f.tail)
 	}
-	e.popFront(b)
+	e.popFront(in, b)
 	db.q = append(db.q, f)
+	if db.allocOut >= 0 {
+		e.flowing.set(dest)
+	}
 	e.lastMove = e.cycle
 	if f.head {
 		db.headArrival = e.cycle
 		f.p.hops++
+		if len(db.q) == 1 {
+			e.pushAllocWork(int32(int(dest) / e.vport))
+		}
 	}
 	if f.tail {
 		e.release(in, out)
+		if len(b.q) > 0 && b.q[0].head {
+			e.pushAllocWork(int32(int(in) / e.vport))
+		}
 	}
-	e.cascade(in)
+	e.cascade(in, b)
 }
 
-// popFront removes the front flit of b.
-func (e *Engine) popFront(b *inbuf) {
+// popFront removes the front flit of input buffer in.
+func (e *Engine) popFront(in int32, b *inbuf) {
 	copy(b.q, b.q[1:])
 	b.q = b.q[:len(b.q)-1]
+	if len(b.q) == 0 {
+		e.flowing.clear(in)
+	}
 }
 
 // release frees the virtual output channel held through input in after
-// the tail flit passed.
+// the tail flit passed, and wakes the router's allocation scan: a header
+// blocked on that output may now proceed.
 func (e *Engine) release(in, out int32) {
 	e.busyBy[out] = -1
 	e.inbufs[in].allocOut = -1
+	e.flowing.clear(in)
+	e.pushAllocWork(int32(int(out) / e.vport))
 }
 
 // cascade schedules the feeder of input buffer in, which may now have
 // space to receive a flit (chained advance).
-func (e *Engine) cascade(in int32) {
+func (e *Engine) cascade(in int32, b *inbuf) {
 	if e.cfg.StrictAdvance {
 		return
 	}
-	if int(in)%e.vport == e.vport-1 {
+	if int(b.port) == e.vport-1 {
 		// Injection buffer freed: the source queue may inject.
 		v := topology.NodeID(int(in) / e.vport)
 		e.tryInject(v, nil)

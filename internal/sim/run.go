@@ -74,6 +74,25 @@ func (r Result) String() string {
 		r.Algorithm, r.Pattern, r.OfferedLoad, r.Throughput, r.AvgLatency, r.AvgNetLatency, r.AvgHops, status)
 }
 
+// step advances the simulation by one cycle's phases: message
+// generation, output allocation, link reset, and flit movement. The
+// caller owns the cycle counter (it increments e.cycle afterwards).
+// lenStart is scratch for strict-advance mode, nil otherwise.
+func (e *Engine) step(lenStart []int32) {
+	e.generate()
+	e.allocate()
+	// Reset only the link and injection usage flags set last cycle.
+	for _, i := range e.dirtyLinks {
+		e.linkUsed[i] = false
+	}
+	e.dirtyLinks = e.dirtyLinks[:0]
+	for _, i := range e.dirtyInj {
+		e.injUsed[i] = false
+	}
+	e.dirtyInj = e.dirtyInj[:0]
+	e.move(lenStart)
+}
+
 // Run executes the configured simulation to completion and returns its
 // measurements.
 func Run(cfg Config) (Result, error) {
@@ -124,15 +143,7 @@ func (e *Engine) run() Result {
 			}
 		}
 
-		e.generate()
-		e.allocate()
-		for i := range e.linkUsed {
-			e.linkUsed[i] = false
-		}
-		for i := range e.injUsed {
-			e.injUsed[i] = false
-		}
-		e.move(lenStart)
+		e.step(lenStart)
 
 		if e.inFlight > 0 && e.cycle-e.lastMove >= e.cfg.DeadlockThreshold {
 			res.Deadlocked = true

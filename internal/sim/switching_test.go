@@ -150,17 +150,8 @@ func TestWormholeBlockingSpansRouters(t *testing.T) {
 	// Run 120 cycles, then inspect buffer occupancy: with one-flit
 	// buffers the blocked worm must occupy one flit in each of several
 	// consecutive routers.
-	var lenStart []int32
 	for i := 0; i < 120; i++ {
-		e.generate()
-		e.allocate()
-		for j := range e.linkUsed {
-			e.linkUsed[j] = false
-		}
-		for j := range e.injUsed {
-			e.injUsed[j] = false
-		}
-		e.move(lenStart)
+		e.step(nil)
 		e.cycle++
 	}
 	occupied := 0
