@@ -34,6 +34,9 @@ func run() int {
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	jsonDir := flag.String("json", "", "also write simulation figures as <dir>/<id>.json")
 	workers := flag.Int("workers", 0, "concurrent simulations across figures and sweeps (0 = GOMAXPROCS)")
+	metricsDir := flag.String("metrics", "", "attach metric collectors to every simulation and write per-figure dumps to <dir>/<id>.metrics.json")
+	metricsInterval := flag.Int64("metrics-interval", 0, "metrics time-series sampling cadence in cycles (0 = default)")
+	progress := flag.Bool("progress", false, "print progress/ETA lines to stderr as sweep simulations complete")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -59,7 +62,13 @@ func run() int {
 		return 0
 	}
 
-	opts := exp.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	opts := exp.Options{
+		Quick: *quick, Seed: *seed, Workers: *workers,
+		MetricsDir: *metricsDir, MetricsInterval: *metricsInterval,
+	}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
 	var chosen []exp.Experiment
 	if *only == "" {
 		chosen = exp.All()

@@ -1,0 +1,172 @@
+// Command metricscheck validates a metrics dump directory written by
+// turnsim -metrics (or any directory holding manifest.json, metrics.prom
+// and heatmap.txt): the manifest must be well-formed JSON with sane
+// totals, every Prometheus line must parse under the text exposition
+// format, and the heatmap must be non-empty. It exits nonzero on the
+// first malformed artifact, so CI can gate on it.
+//
+// Usage:
+//
+//	metricscheck dir [dir...]
+//	metricscheck -figures dir    # validate <id>.metrics.json figure dumps
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"turnmodel/internal/metrics"
+)
+
+func main() {
+	figures := flag.Bool("figures", false, "validate per-figure *.metrics.json dumps instead of a single-run dump directory")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-figures] dir [dir...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, dir := range flag.Args() {
+		var err error
+		if *figures {
+			err = checkFigureDumps(dir)
+		} else {
+			err = checkRunDir(dir)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: %v\n", dir, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", dir)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkRunDir validates the three artifacts of a single-run dump.
+func checkRunDir(dir string) error {
+	man, err := readManifest(filepath.Join(dir, metrics.ManifestFile))
+	if err != nil {
+		return err
+	}
+	if err := checkSummary(man.Summary); err != nil {
+		return fmt.Errorf("%s: %w", metrics.ManifestFile, err)
+	}
+	if len(man.Routers) == 0 {
+		return fmt.Errorf("%s: no per-router blocks", metrics.ManifestFile)
+	}
+	if err := checkPrometheus(filepath.Join(dir, metrics.PrometheusFile)); err != nil {
+		return err
+	}
+	hm, err := os.ReadFile(filepath.Join(dir, metrics.HeatmapFile))
+	if err != nil {
+		return err
+	}
+	if len(strings.TrimSpace(string(hm))) == 0 {
+		return fmt.Errorf("%s: empty heatmap", metrics.HeatmapFile)
+	}
+	return nil
+}
+
+func readManifest(path string) (metrics.Manifest, error) {
+	var man metrics.Manifest
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return man, err
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		return man, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return man, nil
+}
+
+// checkSummary sanity-checks network-wide totals: a real run observed
+// cycles and conserved flits.
+func checkSummary(s metrics.Summary) error {
+	if s.Cycles <= 0 {
+		return fmt.Errorf("summary reports %d cycles", s.Cycles)
+	}
+	if s.InjectedFlits < s.DeliveredFlits {
+		return fmt.Errorf("delivered %d flits but injected only %d", s.DeliveredFlits, s.InjectedFlits)
+	}
+	if s.MaxChannelUtilization < 0 || s.MaxChannelUtilization > 1 {
+		return fmt.Errorf("max channel utilization %v outside [0,1]", s.MaxChannelUtilization)
+	}
+	return nil
+}
+
+// promLine matches one sample line of the text exposition format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|NaN|[+-]Inf)$`)
+
+// checkPrometheus validates every line of a text-format dump.
+func checkPrometheus(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	samples := 0
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) < 3 || (f[1] != "HELP" && f[1] != "TYPE") {
+				return fmt.Errorf("%s:%d: malformed comment line %q", filepath.Base(path), i+1, line)
+			}
+			continue
+		}
+		if !promLine.MatchString(line) {
+			return fmt.Errorf("%s:%d: malformed sample line %q", filepath.Base(path), i+1, line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return fmt.Errorf("%s: no sample lines", filepath.Base(path))
+	}
+	return nil
+}
+
+// checkFigureDumps validates every *.metrics.json in dir.
+func checkFigureDumps(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.metrics.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no *.metrics.json files")
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var dump struct {
+			ID     string `json:"id"`
+			Series []struct {
+				Algorithm string `json:"algorithm"`
+				Points    []struct {
+					Summary metrics.Summary `json:"summary"`
+				} `json:"points"`
+			} `json:"series"`
+		}
+		if err := json.Unmarshal(data, &dump); err != nil {
+			return fmt.Errorf("%s: %w", filepath.Base(path), err)
+		}
+		if dump.ID == "" || len(dump.Series) == 0 {
+			return fmt.Errorf("%s: empty dump", filepath.Base(path))
+		}
+		for _, s := range dump.Series {
+			for _, p := range s.Points {
+				if err := checkSummary(p.Summary); err != nil {
+					return fmt.Errorf("%s: %s: %w", filepath.Base(path), s.Algorithm, err)
+				}
+			}
+		}
+	}
+	return nil
+}

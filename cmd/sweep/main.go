@@ -35,6 +35,9 @@ func run() error {
 	measure := flag.Int64("measure", 40000, "measurement cycles")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	metricsDir := flag.String("metrics", "", "attach metric collectors and write a per-algorithm dump to <dir>/<alg>.metrics.json")
+	metricsInterval := flag.Int64("metrics-interval", 0, "metrics time-series sampling cadence in cycles (0 = default)")
+	progress := flag.Bool("progress", false, "print progress/ETA lines to stderr as simulations complete")
 	saturate := flag.Bool("saturate", false, "bisect for the exact sustainable edge instead of sweeping the grid")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -59,7 +62,13 @@ func run() error {
 		return err
 	}
 
-	opts := exp.Options{Seed: *seed, Warmup: *warmup, Measure: *measure, Workers: *workers}
+	opts := exp.Options{
+		Seed: *seed, Warmup: *warmup, Measure: *measure, Workers: *workers,
+		MetricsDir: *metricsDir, MetricsInterval: *metricsInterval,
+	}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
 	for _, name := range strings.Split(*algFlag, ",") {
 		alg, err := cli.ParseAlgorithm(t, strings.TrimSpace(name))
 		if err != nil {
@@ -78,6 +87,11 @@ func run() error {
 		sw, err := exp.RunSweep(alg, pat, loads, opts)
 		if err != nil {
 			return err
+		}
+		if *metricsDir != "" {
+			if err := exp.WriteSweepMetrics(*metricsDir, alg.Name(), opts, []exp.Sweep{sw}); err != nil {
+				return err
+			}
 		}
 		fmt.Printf("# %s on %v, %s traffic\n", alg.Name(), t, pat.Name())
 		fmt.Printf("%-10s %-12s %-10s %-12s %-6s %s\n",

@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"turnmodel/internal/cli"
+	"turnmodel/internal/metrics"
 	"turnmodel/internal/sim"
 )
 
@@ -43,6 +44,9 @@ func main() {
 	verbose := flag.Bool("v", false, "print percentiles and channel utilization")
 	record := flag.String("record", "", "record the workload to a trace file and exit (horizon = warmup+measure cycles)")
 	replay := flag.String("replay", "", "replay a recorded workload trace instead of generating traffic")
+	metricsDir := flag.String("metrics", "", "collect run metrics and write manifest.json, metrics.prom and heatmap.txt to this directory")
+	metricsInterval := flag.Int64("metrics-interval", 1000, "metrics time-series sampling cadence in cycles")
+	exactLat := flag.Bool("metrics-exact-latencies", false, "record every packet's latency exactly in the metrics manifest (unbounded memory)")
 	flag.Parse()
 
 	t, err := cli.ParseTopology(*topoFlag)
@@ -115,10 +119,24 @@ func main() {
 		cfg.DeadlockThreshold = 100000
 	}
 
+	var m *metrics.Collector
+	if *metricsDir != "" {
+		m = metrics.New(metrics.Config{Interval: *metricsInterval, ExactLatencies: *exactLat})
+		cfg.Metrics = m
+	}
+
 	res, err := sim.Run(cfg)
 	check(err)
 	fmt.Printf("topology:   %v\n", t)
 	fmt.Println(res)
+	if m != nil {
+		check(m.WriteFiles(*metricsDir))
+		sum := m.Summarize()
+		fmt.Printf("metrics:    %s, %s, %s written to %s\n",
+			metrics.ManifestFile, metrics.PrometheusFile, metrics.HeatmapFile, *metricsDir)
+		fmt.Printf("            grants=%d denials=%d misroutes=%d mean-occupancy=%.2f flits/router\n",
+			sum.Grants, sum.Denials, sum.Misroutes, sum.MeanOccupancy)
+	}
 	if *verbose {
 		fmt.Printf("latency percentiles: p50=%.2f p95=%.2f p99=%.2f max=%.2f us\n",
 			res.LatencyP50, res.LatencyP95, res.LatencyP99, res.MaxLatency)

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"turnmodel/internal/metrics"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/sim"
 	"turnmodel/internal/stats"
@@ -34,6 +35,19 @@ type Options struct {
 	// bit-identical for any value: every simulation has its own seeded
 	// generator and lands in a preassigned slot.
 	Workers int
+	// MetricsDir, when set, attaches a metrics collector to every
+	// simulation and writes a per-figure summary dump
+	// (<dir>/<id>.metrics.json) next to each figure run. Attaching
+	// collectors never changes results.
+	MetricsDir string
+	// MetricsInterval is the collectors' time-series sampling cadence
+	// in cycles (0 picks a default). Setting it without MetricsDir
+	// attaches collectors and exposes summaries on SweepPoint.Metrics
+	// without writing files.
+	MetricsInterval int64
+	// Progress, when non-nil, receives progress/ETA lines as sweep
+	// simulations complete (typically os.Stderr for long runs).
+	Progress io.Writer
 }
 
 func (o Options) workers() int {
@@ -147,6 +161,9 @@ func ByID(id string) (Experiment, bool) {
 type SweepPoint struct {
 	Offered float64
 	Result  sim.Result
+	// Metrics is the run's collector summary, present only when the
+	// sweep ran with Options metrics enabled.
+	Metrics *metrics.Summary
 }
 
 // Sweep is one algorithm's curve in a figure.
@@ -173,7 +190,8 @@ func (s Sweep) MaxSustainable() (thr, load float64) {
 // Options.Workers; results are deterministic regardless (each point has
 // its own seeded generator).
 func RunSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Options) (Sweep, error) {
-	return runSweep(alg, pat, loads, o, make(chan struct{}, o.workers()))
+	prog := newProgress(o, alg.Name(), len(loads))
+	return runSweep(alg, pat, loads, o, make(chan struct{}, o.workers()), prog)
 }
 
 // runSweep measures one curve with concurrency bounded by sem. The
@@ -181,7 +199,7 @@ func RunSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Opt
 // goroutine that waits on other goroutines — so a single semaphore can
 // be shared across nested figure/algorithm/load fan-out without
 // deadlock.
-func runSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Options, sem chan struct{}) (Sweep, error) {
+func runSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Options, sem chan struct{}, prog *progress) (Sweep, error) {
 	s := Sweep{Algorithm: alg.Name(), Points: make([]SweepPoint, len(loads))}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -192,20 +210,34 @@ func runSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Opt
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r, err := sim.Run(sim.Config{
+			cfg := sim.Config{
 				Algorithm:     alg,
 				Pattern:       pat,
 				OfferedLoad:   load,
 				WarmupCycles:  o.warmup(),
 				MeasureCycles: o.measure(),
 				Seed:          o.Seed + int64(load*1000),
-			})
+			}
+			// One collector per simulation: collectors are not safe to
+			// share across concurrent runs, and attaching them never
+			// changes results.
+			var m *metrics.Collector
+			if o.metricsEnabled() {
+				m = metrics.New(metrics.Config{Interval: o.metricsInterval()})
+				cfg.Metrics = m
+			}
+			r, err := sim.Run(cfg)
+			prog.tick()
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
 			s.Points[i] = SweepPoint{Offered: load, Result: r}
+			if m != nil && err == nil {
+				sum := m.Summarize()
+				s.Points[i].Metrics = &sum
+			}
 		}(i, load)
 	}
 	wg.Wait()
@@ -323,28 +355,38 @@ var (
 
 func cacheKey(f FigureSpec, o Options) string {
 	// Workers is deliberately absent: the results are bit-identical for
-	// any worker count, so concurrency never splits the cache.
-	return fmt.Sprintf("%s/%d/%v/%v/%d/%d", f.ID, o.Seed, o.Quick, o.Loads, o.Warmup, o.Measure)
+	// any worker count, so concurrency never splits the cache. The
+	// metrics parameters ARE present: cached sweeps run without
+	// collectors carry no summaries, so a metrics-enabled request must
+	// not reuse them (and vice versa).
+	return fmt.Sprintf("%s/%d/%v/%v/%d/%d/%v/%d", f.ID, o.Seed, o.Quick, o.Loads, o.Warmup, o.Measure,
+		o.metricsEnabled(), o.MetricsInterval)
 }
 
-// RunFigure runs (or returns cached) sweeps for a figure spec.
+// RunFigure runs (or returns cached) sweeps for a figure spec. With
+// Options.MetricsDir set it also writes the figure's metric dump
+// (<dir>/<id>.metrics.json), whether the sweeps were cached or fresh.
 func RunFigure(f FigureSpec, o Options) ([]Sweep, error) {
 	key := cacheKey(f, o)
 	sweepMu.Lock()
-	if s, ok := sweepCache[key]; ok {
+	s, cached := sweepCache[key]
+	sweepMu.Unlock()
+	if !cached {
+		var err error
+		s, err = runFigure(f, o, make(chan struct{}, o.workers()))
+		if err != nil {
+			return nil, err
+		}
+		sweepMu.Lock()
+		sweepCache[key] = s
 		sweepMu.Unlock()
-		return s, nil
 	}
-	sweepMu.Unlock()
-
-	sweeps, err := runFigure(f, o, make(chan struct{}, o.workers()))
-	if err != nil {
-		return nil, err
+	if o.MetricsDir != "" {
+		if err := WriteSweepMetrics(o.MetricsDir, f.ID, o, s); err != nil {
+			return nil, err
+		}
 	}
-	sweepMu.Lock()
-	sweepCache[key] = sweeps
-	sweepMu.Unlock()
-	return sweeps, nil
+	return s, nil
 }
 
 // runFigure measures every algorithm line of a figure, uncached. The
@@ -355,6 +397,7 @@ func runFigure(f FigureSpec, o Options, sem chan struct{}) ([]Sweep, error) {
 	pat := f.Pattern(t)
 	loads := o.loads(f.Loads)
 	algs := f.Algs(t)
+	prog := newProgress(o, f.ID, len(algs)*len(loads))
 	sweeps := make([]Sweep, len(algs))
 	errs := make([]error, len(algs))
 	var wg sync.WaitGroup
@@ -362,7 +405,7 @@ func runFigure(f FigureSpec, o Options, sem chan struct{}) ([]Sweep, error) {
 		wg.Add(1)
 		go func(i int, alg routing.Algorithm) {
 			defer wg.Done()
-			sweeps[i], errs[i] = runSweep(alg, pat, loads, o, sem)
+			sweeps[i], errs[i] = runSweep(alg, pat, loads, o, sem, prog)
 		}(i, alg)
 	}
 	wg.Wait()

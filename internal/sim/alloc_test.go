@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"turnmodel/internal/metrics"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/topology"
 	"turnmodel/internal/traffic"
@@ -12,33 +13,47 @@ import (
 // allocations per cycle in steady state — candidate caches, the waiting
 // buffer and the filter scratch are all engine-owned and reused. The
 // worklist is forced full each run so the measurement covers the
-// worst-case full scan, not just the event-driven fast path.
+// worst-case full scan, not just the event-driven fast path. The
+// invariant holds both without metrics (the production hot path pays
+// only nil checks) and with a collector attached (counters are
+// preallocated slices, incremented in place).
 func TestAllocateZeroAllocs(t *testing.T) {
-	topo := topology.NewMesh(8, 8)
-	e, err := New(Config{
-		Algorithm:     routing.NewNegativeFirst(topo),
-		Pattern:       traffic.NewUniform(topo),
-		OfferedLoad:   2.0,
-		WarmupCycles:  1 << 30, // never start measuring: histograms may allocate
-		MeasureCycles: 1,
-		Seed:          3,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 2000; i++ {
-		e.step(nil)
-		e.cycle++
-	}
-	if e.inFlight == 0 {
-		t.Fatal("no traffic in flight after warmup; test would be vacuous")
-	}
-	avg := testing.AllocsPerRun(200, func() {
-		e.allocWork.setAll(e.topo.Nodes())
-		e.allocate()
-	})
-	if avg != 0 {
-		t.Errorf("allocate() performs %.2f heap allocations per cycle, want 0", avg)
+	for _, tc := range []struct {
+		name string
+		m    *metrics.Collector
+	}{
+		{"metrics-disabled", nil},
+		{"metrics-enabled", metrics.New(metrics.Config{Interval: 100})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			topo := topology.NewMesh(8, 8)
+			e, err := New(Config{
+				Algorithm:     routing.NewNegativeFirst(topo),
+				Pattern:       traffic.NewUniform(topo),
+				OfferedLoad:   2.0,
+				WarmupCycles:  1 << 30, // never start measuring: histograms may allocate
+				MeasureCycles: 1,
+				Seed:          3,
+				Metrics:       tc.m,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2000; i++ {
+				e.step(nil)
+				e.cycle++
+			}
+			if e.inFlight == 0 {
+				t.Fatal("no traffic in flight after warmup; test would be vacuous")
+			}
+			avg := testing.AllocsPerRun(200, func() {
+				e.allocWork.setAll(e.topo.Nodes())
+				e.allocate()
+			})
+			if avg != 0 {
+				t.Errorf("allocate() performs %.2f heap allocations per cycle, want 0", avg)
+			}
+		})
 	}
 }
 

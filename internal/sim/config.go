@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"turnmodel/internal/metrics"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/topology"
 	"turnmodel/internal/traffic"
@@ -214,6 +215,14 @@ type Config struct {
 	// Observer, if non-nil, receives simulation events (injections,
 	// allocations, flit forwards, deliveries).
 	Observer Observer
+
+	// Metrics, if non-nil, attaches a counter collector to the run: the
+	// engine binds it at construction and fills its per-router and
+	// per-channel counters, time series and latency histogram over the
+	// whole run (cycle zero onward). Attaching a collector never
+	// changes simulation results; leaving it nil costs one branch per
+	// hook. The Observer interface remains the tracing path.
+	Metrics *metrics.Collector
 }
 
 func (c *Config) withDefaults() (Config, error) {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"turnmodel/internal/metrics"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/stats"
 	"turnmodel/internal/topology"
@@ -149,6 +150,11 @@ type Engine struct {
 
 	stats runStats
 
+	// m is the attached metrics collector, or nil. Every hot-path hook
+	// is guarded by one nil check, so a run without metrics pays
+	// nothing else (see TestAllocateZeroAllocs).
+	m *metrics.Collector
+
 	// onDeliver, when set (tests), observes every delivered packet.
 	onDeliver func(*packet)
 }
@@ -241,6 +247,10 @@ func New(cfg Config) (*Engine, error) {
 				e.upOut[in] = out
 			}
 		}
+	}
+	if c.Metrics != nil {
+		e.m = c.Metrics
+		e.m.Bind(t, e.nphys)
 	}
 	if e.script == nil {
 		// OfferedLoad flits/us/node = rate msgs/cycle * meanLen flits/msg
@@ -419,11 +429,18 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 				e.busyBy[out] = in
 				b.allocOut = out
 				e.flowing.set(in)
+				if e.m != nil {
+					e.m.Grants[v]++
+					e.m.WaitCycles[v] += e.cycle - b.headArrival
+				}
 				if e.cfg.Observer != nil {
 					e.cfg.Observer.Allocate(e.cycle, topology.NodeID(v), topology.Direction{}, 0, true)
 				}
 			} else {
 				blocked++
+				if e.m != nil {
+					e.m.Denials[v]++
+				}
 			}
 			continue
 		}
@@ -441,6 +458,9 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 		}
 		if len(free) == 0 {
 			blocked++
+			if e.m != nil {
+				e.m.Denials[v]++
+			}
 			continue
 		}
 		// With misroute patience configured, prefer distance-reducing
@@ -473,6 +493,15 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 		e.busyBy[c.out] = in
 		b.allocOut = c.out
 		e.flowing.set(in)
+		if e.m != nil {
+			e.m.Grants[v]++
+			e.m.WaitCycles[v] += e.cycle - b.headArrival
+			if !c.prof {
+				// The candidate cache computes profitability whenever a
+				// collector is attached, so this counts true detours.
+				e.m.Misroutes[v]++
+			}
+		}
 		if e.cfg.Observer != nil {
 			e.cfg.Observer.Allocate(e.cycle, topology.NodeID(v), c.vd.Dir, c.vd.VC, false)
 		}
@@ -517,8 +546,14 @@ func (e *Engine) fillCandCache(v int, b *inbuf, pkt *packet, epoch int32) {
 		}
 	}
 	base := v * e.vport
+	// Profitability (does this output reduce the distance?) feeds the
+	// misroute-patience discipline and, when a collector is attached,
+	// the misroute counter. Computing it unconditionally in the
+	// metrics case is behavior-neutral: allocation consults prof only
+	// when MisrouteAfter > 0.
+	needProf := e.cfg.MisrouteAfter > 0 || e.m != nil
 	baseDist := 0
-	if e.cfg.MisrouteAfter > 0 {
+	if needProf {
 		baseDist = e.topo.Distance(cur, pkt.dst)
 	}
 	b.cands = b.cands[:0]
@@ -534,7 +569,7 @@ func (e *Engine) fillCandCache(v int, b *inbuf, pkt *packet, epoch int32) {
 			continue
 		}
 		prof := false
-		if e.cfg.MisrouteAfter > 0 {
+		if needProf {
 			if next, ok := e.topo.Neighbor(cur, vd.Dir); ok && e.topo.Distance(next, pkt.dst) < baseDist {
 				prof = true
 			}
@@ -651,6 +686,10 @@ func (e *Engine) tryInject(v topology.NodeID, lenStart []int32) {
 	p := q[0]
 	f := flit{p: p, head: p.flitsSent == 0, tail: p.flitsSent == p.length-1}
 	b.q = append(b.q, f)
+	if e.m != nil {
+		e.m.Occupancy[v]++
+		e.m.InjectedFlits++
+	}
 	if b.allocOut >= 0 {
 		e.flowing.set(in)
 	}
@@ -721,6 +760,13 @@ func (e *Engine) moveOne(in int32, lenStart []int32) {
 		if e.stats.measuring {
 			e.linkFlits[phys]++
 		}
+		if e.m != nil {
+			r := int(in) / e.vport
+			e.m.ChannelFlits[phys]++
+			e.m.RouterFlits[r]++
+			e.m.Occupancy[r]--
+			e.m.DeliveredFlits++
+		}
 		e.popFront(in, b)
 		f.p.flitsDelivered++
 		e.lastMove = e.cycle
@@ -743,6 +789,12 @@ func (e *Engine) moveOne(in int32, lenStart []int32) {
 	e.dirtyLinks = append(e.dirtyLinks, phys)
 	if e.stats.measuring {
 		e.linkFlits[phys]++
+	}
+	if e.m != nil {
+		e.m.ChannelFlits[phys]++
+		e.m.RouterFlits[int(in)/e.vport]++
+		e.m.Occupancy[int(in)/e.vport]--
+		e.m.Occupancy[int(dest)/e.vport]++
 	}
 	if e.cfg.Observer != nil {
 		p := int(out) % e.vport
@@ -825,6 +877,9 @@ func (e *Engine) deliver(p *packet) {
 		e.cfg.Observer.Deliver(e.cycle, p.src, p.dst, p.deliverCycle-p.genCycle, p.hops)
 	}
 	e.stats.totalDeliveredEver++
+	if e.m != nil {
+		e.m.RecordLatency(float64(p.deliverCycle - p.genCycle))
+	}
 	if e.stats.measuring {
 		e.stats.packetsDelivered++
 		lat := float64(p.deliverCycle - p.genCycle)
@@ -862,7 +917,10 @@ func (e *Engine) backlogFlits() int64 {
 
 // hottestChannel returns the network channel that carried the most
 // flits during measurement and its utilization (flits per cycle).
-func (e *Engine) hottestChannel() (float64, topology.Channel) {
+// window is the measurement-window length the counts were collected
+// over: cfg.MeasureCycles for stream runs, the full run length for
+// scripted runs (which measure from cycle zero).
+func (e *Engine) hottestChannel(window int64) (float64, topology.Channel) {
 	var best int64 = -1
 	bestIdx := -1
 	for i, f := range e.linkFlits {
@@ -873,12 +931,12 @@ func (e *Engine) hottestChannel() (float64, topology.Channel) {
 			best, bestIdx = f, i
 		}
 	}
-	if bestIdx < 0 || e.cfg.MeasureCycles == 0 {
+	if bestIdx < 0 || window <= 0 {
 		return 0, topology.Channel{}
 	}
 	ch := topology.Channel{
 		From: topology.NodeID(bestIdx / e.nphys),
 		Dir:  topology.DirectionFromIndex(bestIdx % e.nphys),
 	}
-	return float64(best) / float64(e.cfg.MeasureCycles), ch
+	return float64(best) / float64(window), ch
 }

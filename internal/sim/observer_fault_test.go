@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"testing"
+
+	"turnmodel/internal/core"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// TestObserverEventsUnderFault: the Observer event stream stays
+// well-formed and conservative when a channel fails mid-run. The fault
+// lands while a header that needs the broken channel is in flight, so
+// the engine's fault-epoch check must invalidate its cached candidates
+// and the allocation rescan must reroute it — all of which the event
+// stream has to reflect: cycles never go backwards, phases within a
+// cycle follow allocate < move, every network-grant matches
+// a head forward and every ejection-grant a delivery, no flit crosses
+// the disabled channel after the fault, and the blocked packet's
+// Deliver event reports a detour.
+func TestObserverEventsUnderFault(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	broken := topology.Channel{From: topo.ID(topology.Coord{3, 3}), Dir: topology.Direction{Dim: 0, Pos: true}}
+	defer topo.EnableChannel(broken)
+
+	// Unique (src,dst) pairs so Deliver events correlate with Inject
+	// events exactly. The first message's only minimal path runs east
+	// along row 3, straight over the channel that will fail.
+	blockedSrc := topo.ID(topology.Coord{1, 3})
+	blockedDst := topo.ID(topology.Coord{6, 3})
+	script := []ScriptedMessage{
+		{Cycle: 0, Src: blockedSrc, Dst: blockedDst, Length: 8},
+		{Cycle: 0, Src: topo.ID(topology.Coord{0, 0}), Dst: topo.ID(topology.Coord{5, 6}), Length: 6},
+		{Cycle: 2, Src: topo.ID(topology.Coord{7, 1}), Dst: topo.ID(topology.Coord{2, 5}), Length: 6},
+		{Cycle: 4, Src: topo.ID(topology.Coord{6, 7}), Dst: topo.ID(topology.Coord{0, 2}), Length: 6},
+		{Cycle: 6, Src: topo.ID(topology.Coord{4, 4}), Dst: topo.ID(topology.Coord{4, 0}), Length: 6},
+	}
+	const faultCycle = 2
+
+	type pkt struct {
+		injectCycle  int64
+		injects      int
+		delivers     int
+		deliverCycle int64
+		hops         int
+	}
+	pkts := map[[2]topology.NodeID]*pkt{}
+	for _, m := range script {
+		pkts[[2]topology.NodeID{m.Src, m.Dst}] = &pkt{}
+	}
+
+	var lastCycle int64
+	lastPhase := -1
+	// Phases within a cycle: 0 allocate (Allocate events), 1 move
+	// (Inject fires from tryInject during movement, interleaved with
+	// Forward and Deliver per channel).
+	phase := func(cycle int64, p int, what string) {
+		if cycle < lastCycle {
+			t.Fatalf("%s event at cycle %d after cycle %d", what, cycle, lastCycle)
+		}
+		if cycle > lastCycle {
+			lastCycle, lastPhase = cycle, -1
+		}
+		if p < lastPhase {
+			t.Fatalf("cycle %d: %s event out of phase order (%d after %d)", cycle, what, p, lastPhase)
+		}
+		lastPhase = p
+	}
+	var netGrants, ejectGrants, headForwards, forwards, delivers int
+	obs := ObserverFuncs{
+		InjectFn: func(cycle int64, src, dst topology.NodeID, length int) {
+			phase(cycle, 1, "Inject")
+			p, ok := pkts[[2]topology.NodeID{src, dst}]
+			if !ok {
+				t.Fatalf("Inject for unknown packet %d->%d", src, dst)
+			}
+			p.injects++
+			p.injectCycle = cycle
+		},
+		AllocateFn: func(cycle int64, at topology.NodeID, dir topology.Direction, vc int, eject bool) {
+			phase(cycle, 0, "Allocate")
+			if vc != 0 {
+				t.Errorf("single-channel run allocated vc %d", vc)
+			}
+			if eject {
+				ejectGrants++
+			} else {
+				netGrants++
+				if cycle > faultCycle && at == broken.From && dir == broken.Dir {
+					t.Errorf("cycle %d: allocated the disabled channel %v", cycle, broken)
+				}
+			}
+		},
+		ForwardFn: func(cycle int64, ch topology.Channel, vc int, head, tail bool) {
+			phase(cycle, 1, "Forward")
+			forwards++
+			if head {
+				headForwards++
+			}
+			if cycle > faultCycle && ch == broken {
+				t.Errorf("cycle %d: flit crossed the disabled channel %v", cycle, broken)
+			}
+		},
+		DeliverFn: func(cycle int64, src, dst topology.NodeID, lat int64, hops int) {
+			phase(cycle, 1, "Deliver")
+			delivers++
+			p, ok := pkts[[2]topology.NodeID{src, dst}]
+			if !ok {
+				t.Fatalf("Deliver for unknown packet %d->%d", src, dst)
+			}
+			p.delivers++
+			p.deliverCycle = cycle
+			p.hops = hops
+			if lat <= 0 || cycle <= p.injectCycle {
+				t.Errorf("packet %d->%d: deliver at cycle %d (inject %d), latency %d", src, dst, cycle, p.injectCycle, lat)
+			}
+		},
+	}
+
+	nonmin := routing.NewTurnGraphRouting(topo, core.WestFirstSet(), false)
+	e, err := New(Config{
+		Algorithm:         nonmin,
+		Script:            script,
+		MisrouteAfter:     4,
+		DeadlockThreshold: 2000,
+		Observer:          obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the engine by hand so the fault lands mid-run, after the
+	// blocked header is already in the network with cached candidates.
+	for e.scriptAt < len(e.script) || e.inFlight > 0 {
+		if e.cycle == faultCycle {
+			topo.DisableChannel(broken)
+		}
+		e.step(nil)
+		e.cycle++
+		if e.cycle > 50000 {
+			t.Fatal("run did not drain")
+		}
+	}
+
+	if delivers != len(script) {
+		t.Fatalf("delivered %d of %d packets", delivers, len(script))
+	}
+	for key, p := range pkts {
+		if p.injects != 1 || p.delivers != 1 {
+			t.Errorf("packet %d->%d: %d injects, %d delivers, want 1 each", key[0], key[1], p.injects, p.delivers)
+		}
+		if p.hops < 1 {
+			t.Errorf("packet %d->%d delivered with %d hops", key[0], key[1], p.hops)
+		}
+	}
+	// Conservation: one network grant per head crossing, one ejection
+	// grant per delivery, and total forwards = sum of length*hops.
+	if netGrants != headForwards {
+		t.Errorf("network grants %d != head forwards %d", netGrants, headForwards)
+	}
+	if ejectGrants != delivers {
+		t.Errorf("ejection grants %d != delivers %d", ejectGrants, delivers)
+	}
+	wantForwards := 0
+	for _, m := range script {
+		wantForwards += m.Length * pkts[[2]topology.NodeID{m.Src, m.Dst}].hops
+	}
+	if forwards != wantForwards {
+		t.Errorf("forward events %d, want sum length*hops %d", forwards, wantForwards)
+	}
+	// The rerouted packet must have detoured: with its row cut it
+	// cannot make the minimal 5-hop distance.
+	if got := pkts[[2]topology.NodeID{blockedSrc, blockedDst}].hops; got <= topo.Distance(blockedSrc, blockedDst) {
+		t.Errorf("blocked packet delivered in %d hops; the fault makes the minimal %d impossible",
+			got, topo.Distance(blockedSrc, blockedDst))
+	}
+}

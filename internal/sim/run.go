@@ -91,6 +91,14 @@ func (e *Engine) step(lenStart []int32) {
 	}
 	e.dirtyInj = e.dirtyInj[:0]
 	e.move(lenStart)
+	if e.m != nil {
+		e.m.EndCycle()
+		// The backlog scan is deferred behind SampleDue so it runs only
+		// at the sampling cadence, not every cycle.
+		if e.m.SampleDue(e.cycle) {
+			e.m.TakeSample(e.cycle, int64(e.inFlight), e.backlogFlits())
+		}
+	}
 }
 
 // Run executes the configured simulation to completion and returns its
@@ -170,10 +178,9 @@ func (e *Engine) run() Result {
 		}
 		if e.cycle > 0 {
 			res.Throughput = float64(s.flitsDelivered) / (float64(e.cycle) / CyclesPerMicrosecond)
-			savedMeasure := e.cfg.MeasureCycles
-			e.cfg.MeasureCycles = e.cycle
-			res.MaxChannelUtilization, res.HottestChannel = e.hottestChannel()
-			e.cfg.MeasureCycles = savedMeasure
+			// Scripted runs measure from cycle zero, so the whole run is
+			// the utilization window.
+			res.MaxChannelUtilization, res.HottestChannel = e.hottestChannel(e.cycle)
 		}
 		return res
 	}
@@ -190,7 +197,7 @@ func (e *Engine) run() Result {
 	}
 	res.PacketsDelivered = s.packetsDelivered
 	res.PacketsGenerated = s.packetsGenerated
-	res.MaxChannelUtilization, res.HottestChannel = e.hottestChannel()
+	res.MaxChannelUtilization, res.HottestChannel = e.hottestChannel(e.cfg.MeasureCycles)
 	res.BacklogGrowth = e.backlogFlits() - s.backlogStartFlits
 	genFlits := s.flitsGenMeasure
 	res.Sustainable = !res.Deadlocked && float64(res.BacklogGrowth) <= 0.05*float64(genFlits)+float64(2*e.topo.Nodes())

@@ -40,6 +40,50 @@ func (p *Plot) Add(name string, x, y []float64, marker byte) {
 	p.series = append(p.series, Series{Name: name, Marker: marker, X: x, Y: y})
 }
 
+// heatRamp orders cell characters by intensity; index 0 is zero.
+const heatRamp = " .:-=+*#%@"
+
+// Heatmap renders a rows x cols grid of nonnegative intensities as an
+// ASCII density map: each cell's value (from cell(r, c)) is normalized
+// to the grid maximum and drawn with a ten-step character ramp. Row 0
+// prints at the top. A legend line gives the ramp and the maximum.
+func Heatmap(rows, cols int, cell func(r, c int) float64) string {
+	if rows <= 0 || cols <= 0 {
+		return "(empty heatmap)\n"
+	}
+	max := 0.0
+	vals := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := cell(r, c)
+			if v < 0 || math.IsNaN(v) {
+				v = 0
+			}
+			vals[r*cols+c] = v
+			if v > max {
+				max = v
+			}
+		}
+	}
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			ch := byte(' ')
+			if max > 0 {
+				idx := int(vals[r*cols+c] / max * float64(len(heatRamp)-1))
+				if idx >= len(heatRamp) {
+					idx = len(heatRamp) - 1
+				}
+				ch = heatRamp[idx]
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "scale: %q = 0..%.4g\n", heatRamp, max)
+	return b.String()
+}
+
 // String renders the plot.
 func (p *Plot) String() string {
 	if len(p.series) == 0 {

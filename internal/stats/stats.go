@@ -53,11 +53,22 @@ func (a *Accumulator) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
 
-// Min and Max return the observed extremes (0 with no observations).
-func (a *Accumulator) Min() float64 { return a.min }
+// Min returns the smallest observation, or NaN with no observations —
+// distinguishable from a genuine 0 observation, unlike a zero default.
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
 
-// Max returns the largest observation.
-func (a *Accumulator) Max() float64 { return a.max }
+// Max returns the largest observation, or NaN with no observations.
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}
 
 // StdErr returns the standard error of the mean.
 func (a *Accumulator) StdErr() float64 {
@@ -67,9 +78,13 @@ func (a *Accumulator) StdErr() float64 {
 	return a.StdDev() / math.Sqrt(float64(a.n))
 }
 
-// String summarizes the accumulator.
+// String summarizes the accumulator; an empty one renders as "n=0"
+// rather than a row of spurious zeros.
 func (a *Accumulator) String() string {
-	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", a.n, a.Mean(), a.StdDev(), a.min, a.max)
+	if a.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", a.n, a.Mean(), a.StdDev(), a.Min(), a.Max())
 }
 
 // Histogram counts observations in fixed-width buckets.
@@ -99,24 +114,40 @@ func (h *Histogram) N() int64 { return h.acc.N() }
 // Mean returns the sample mean.
 func (h *Histogram) Mean() float64 { return h.acc.Mean() }
 
-// Percentile returns the smallest bucket upper bound covering at least
-// fraction q of the observations.
+// Percentile returns the q-quantile of the recorded observations,
+// linearly interpolated within the covering bucket (so a single-bucket
+// histogram no longer collapses every quantile to the bucket's upper
+// bound). q outside [0, 1] (or NaN) is clamped: q <= 0 returns the
+// lower bound of the first occupied bucket, q >= 1 the upper bound of
+// the last. An empty histogram returns 0.
 func (h *Histogram) Percentile(q float64) float64 {
-	if h.acc.N() == 0 {
+	n := h.acc.N()
+	if n == 0 {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	keys := make([]int, 0, len(h.buckets))
 	for k := range h.buckets {
 		keys = append(keys, k)
 	}
 	sort.Ints(keys)
-	target := q * float64(h.acc.N())
+	if q == 0 {
+		return float64(keys[0]) * h.width
+	}
+	target := q * float64(n)
 	var cum float64
 	for _, k := range keys {
-		cum += float64(h.buckets[k])
-		if cum >= target {
-			return float64(k+1) * h.width
+		c := float64(h.buckets[k])
+		if cum+c >= target {
+			// Interpolate within bucket k, which spans
+			// [k*width, (k+1)*width).
+			return (float64(k) + (target-cum)/c) * h.width
 		}
+		cum += c
 	}
 	return float64(keys[len(keys)-1]+1) * h.width
 }

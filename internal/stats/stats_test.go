@@ -39,6 +39,18 @@ func TestAccumulatorEmpty(t *testing.T) {
 	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
 		t.Error("empty accumulator should be all zeros")
 	}
+	// Min/Max are NaN when empty so a real 0 observation is
+	// distinguishable from "no data".
+	if !math.IsNaN(a.Min()) || !math.IsNaN(a.Max()) {
+		t.Errorf("empty Min/Max = %v/%v, want NaN/NaN", a.Min(), a.Max())
+	}
+	if a.String() != "n=0" {
+		t.Errorf("empty String = %q, want \"n=0\"", a.String())
+	}
+	a.Add(0)
+	if a.Min() != 0 || a.Max() != 0 {
+		t.Errorf("Min/Max after observing 0 = %v/%v, want 0/0", a.Min(), a.Max())
+	}
 }
 
 // TestAccumulatorMatchesNaive: Welford agrees with the two-pass formula.
@@ -85,6 +97,68 @@ func TestHistogram(t *testing.T) {
 	}
 	if math.Abs(h.Mean()-50.5) > 1e-9 {
 		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+// TestPercentileTable pins the interpolated percentile semantics:
+// clamped q, exact interpolation within buckets, negative observations
+// and single-bucket histograms.
+func TestPercentileTable(t *testing.T) {
+	uniform100 := func() *Histogram {
+		h := NewHistogram(1.0)
+		for i := 1; i <= 100; i++ {
+			h.Add(float64(i))
+		}
+		return h
+	}
+	single := func() *Histogram {
+		h := NewHistogram(10.0)
+		for i := 0; i < 4; i++ {
+			h.Add(2.5) // all four land in bucket [0,10)
+		}
+		return h
+	}
+	negatives := func() *Histogram {
+		h := NewHistogram(1.0)
+		for _, x := range []float64{-3.5, -2.5, -1.5, -0.5} {
+			h.Add(x)
+		}
+		return h
+	}
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want float64
+	}{
+		{"q0 is the first bucket lower bound", uniform100(), 0, 1},
+		{"q1 is the last bucket upper bound", uniform100(), 1, 101},
+		{"negative q clamps to 0", uniform100(), -0.5, 1},
+		{"q above 1 clamps to 1", uniform100(), 2, 101},
+		{"NaN q clamps to 0", uniform100(), math.NaN(), 1},
+		{"median interpolates", uniform100(), 0.5, 51},
+		{"p25 interpolates", uniform100(), 0.25, 26},
+		{"single bucket q0", single(), 0, 0},
+		{"single bucket median interpolates within", single(), 0.5, 5},
+		{"single bucket q1", single(), 1, 10},
+		{"negative observations q0", negatives(), 0, -4},
+		{"negative observations median", negatives(), 0.5, -2},
+		{"negative observations q1", negatives(), 1, 0},
+	}
+	for _, c := range cases {
+		if got := c.h.Percentile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+	// Quantiles are monotone in q.
+	h := uniform100()
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		p := h.Percentile(q)
+		if p < prev {
+			t.Fatalf("Percentile not monotone: q=%v gives %v after %v", q, p, prev)
+		}
+		prev = p
 	}
 }
 
