@@ -3,11 +3,22 @@
 // bench_test.go runs) and writes the results as JSON, one record per
 // figure and algorithm with ns/op and allocs/op. The driver writes
 // BENCH_<pr>.json files with it so successive changes have a recorded
-// performance trajectory.
+// performance trajectory; benchjson itself compares each run against
+// the most recent of those files and prints the deltas.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_1.json] [-benchtime 2s] [-quick]
+//	benchjson [-o BENCH_3.json] [-benchtime 2s] [-quick]
+//	          [-baseline BENCH_2.json|none] [-only substring]
+//	          [-max-allocs N]
+//
+// With no -baseline, the highest-numbered BENCH_*.json in the current
+// directory (other than the -o target) is used when one exists.
+// -max-allocs turns the run into a regression gate: if any measured
+// benchmark allocates more than N allocations per op, benchjson exits
+// nonzero. CI runs one quick benchmark under a checked-in ceiling so a
+// change that reintroduces per-header or per-message allocation fails
+// the build.
 package main
 
 import (
@@ -15,8 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
+	"text/tabwriter"
 
 	"turnmodel/internal/exp"
 	"turnmodel/internal/sim"
@@ -60,6 +76,9 @@ func run() int {
 	out := flag.String("o", "", "output file (default stdout)")
 	benchtime := flag.String("benchtime", "2s", "run time per benchmark: duration or Nx iteration count")
 	quick := flag.Bool("quick", false, "run each benchmark exactly twice instead of for -benchtime")
+	baseline := flag.String("baseline", "", "previous BENCH_*.json to print deltas against; default: highest-numbered in cwd; 'none' disables")
+	only := flag.String("only", "", "run only benchmarks whose name contains this substring")
+	maxAllocs := flag.Int64("max-allocs", 0, "fail (exit 1) if any benchmark exceeds this many allocs/op (0 disables)")
 	flag.Parse()
 	if *quick {
 		*benchtime = "2x"
@@ -75,6 +94,7 @@ func run() int {
 		Schema:     "turnmodel-bench-v1: one op = one full simulation at the figure's load point",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
+	ran := 0
 	for _, fb := range figureBenches {
 		f, ok := exp.FigureByID(fb.FigID)
 		if !ok {
@@ -84,6 +104,11 @@ func run() int {
 		t := f.Topology()
 		pat := f.Pattern(t)
 		for _, alg := range f.Algs(t) {
+			name := fb.Name + "/" + alg.Name()
+			if *only != "" && !strings.Contains(name, *only) {
+				continue
+			}
+			ran++
 			cfg := sim.Config{
 				Algorithm:     alg,
 				Pattern:       pat,
@@ -105,7 +130,6 @@ func run() int {
 					last = r
 				}
 			}
-			name := fb.Name + "/" + alg.Name()
 			fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", name)
 			res := testing.Benchmark(bench)
 			if simErr != nil {
@@ -123,6 +147,25 @@ func run() int {
 			})
 		}
 	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches -only %q\n", *only)
+		return 2
+	}
+
+	if base := loadBaseline(*baseline, *out); base != nil {
+		printDeltas(os.Stderr, base, rep.Benchmarks)
+	}
+
+	exceeded := false
+	if *maxAllocs > 0 {
+		for _, r := range rep.Benchmarks {
+			if r.AllocsPerOp > *maxAllocs {
+				fmt.Fprintf(os.Stderr, "benchjson: %s allocates %d allocs/op, over the -max-allocs ceiling %d\n",
+					r.Name, r.AllocsPerOp, *maxAllocs)
+				exceeded = true
+			}
+		}
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -132,11 +175,87 @@ func run() int {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return 0
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 1
 	}
+	if exceeded {
+		return 1
+	}
 	return 0
+}
+
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// loadBaseline resolves and parses the comparison report. An explicit
+// path must load; the automatic pick (the highest-numbered BENCH_*.json
+// in the current directory, excluding the file this run writes) is
+// best-effort and returns nil when nothing usable exists.
+func loadBaseline(path, out string) *report {
+	if path == "none" {
+		return nil
+	}
+	explicit := path != ""
+	if !explicit {
+		best := -1
+		matches, _ := filepath.Glob("BENCH_*.json")
+		for _, m := range matches {
+			sub := benchFileRe.FindStringSubmatch(filepath.Base(m))
+			if sub == nil || (out != "" && filepath.Base(m) == filepath.Base(out)) {
+				continue
+			}
+			if n, err := strconv.Atoi(sub[1]); err == nil && n > best {
+				best, path = n, m
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		if explicit {
+			os.Exit(2)
+		}
+		return nil
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", path, err)
+		if explicit {
+			os.Exit(2)
+		}
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: deltas vs %s\n", path)
+	return &rep
+}
+
+// printDeltas renders an old->new comparison table for every benchmark
+// present in both reports.
+func printDeltas(w *os.File, base *report, cur []record) {
+	old := map[string]record{}
+	for _, r := range base.Benchmarks {
+		old[r.Name] = r
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tns/op\tallocs/op\tbytes/op")
+	for _, r := range cur {
+		o, ok := old[r.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t%d (new)\t%d (new)\t%d (new)\n", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r.Name,
+			delta(o.NsPerOp, r.NsPerOp), delta(o.AllocsPerOp, r.AllocsPerOp), delta(o.BytesPerOp, r.BytesPerOp))
+	}
+	tw.Flush()
+}
+
+func delta(old, new int64) string {
+	if old == 0 {
+		return fmt.Sprintf("%d -> %d", old, new)
+	}
+	return fmt.Sprintf("%d -> %d (%+.1f%%)", old, new, 100*float64(new-old)/float64(old))
 }

@@ -48,6 +48,12 @@ type Options struct {
 	// Progress, when non-nil, receives progress/ETA lines as sweep
 	// simulations complete (typically os.Stderr for long runs).
 	Progress io.Writer
+	// DisableRouteTables forwards sim.Config.DisableRouteTable to the
+	// figure-sweep simulations: routing relations are evaluated
+	// directly per header instead of through compiled route tables.
+	// Results are bit-identical either way; the switch exists for A/B
+	// verification and diagnosis.
+	DisableRouteTables bool
 }
 
 func (o Options) workers() int {
@@ -211,12 +217,13 @@ func runSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Opt
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			cfg := sim.Config{
-				Algorithm:     alg,
-				Pattern:       pat,
-				OfferedLoad:   load,
-				WarmupCycles:  o.warmup(),
-				MeasureCycles: o.measure(),
-				Seed:          o.Seed + int64(load*1000),
+				Algorithm:         alg,
+				Pattern:           pat,
+				OfferedLoad:       load,
+				WarmupCycles:      o.warmup(),
+				MeasureCycles:     o.measure(),
+				Seed:              o.Seed + int64(load*1000),
+				DisableRouteTable: o.DisableRouteTables,
 			}
 			// One collector per simulation: collectors are not safe to
 			// share across concurrent runs, and attaching them never
@@ -358,9 +365,12 @@ func cacheKey(f FigureSpec, o Options) string {
 	// any worker count, so concurrency never splits the cache. The
 	// metrics parameters ARE present: cached sweeps run without
 	// collectors carry no summaries, so a metrics-enabled request must
-	// not reuse them (and vice versa).
-	return fmt.Sprintf("%s/%d/%v/%v/%d/%d/%v/%d", f.ID, o.Seed, o.Quick, o.Loads, o.Warmup, o.Measure,
-		o.metricsEnabled(), o.MetricsInterval)
+	// not reuse them (and vice versa). DisableRouteTables is present
+	// even though results are bit-identical either way, so the A/B
+	// determinism tests compare two genuine runs rather than one run
+	// against its own cache entry.
+	return fmt.Sprintf("%s/%d/%v/%v/%d/%d/%v/%d/%v", f.ID, o.Seed, o.Quick, o.Loads, o.Warmup, o.Measure,
+		o.metricsEnabled(), o.MetricsInterval, o.DisableRouteTables)
 }
 
 // RunFigure runs (or returns cached) sweeps for a figure spec. With

@@ -1,0 +1,338 @@
+package routing
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"turnmodel/internal/topology"
+)
+
+// Route-table compilation. A routing relation over a fixed topology is
+// a pure function of (current node, destination, arrival port), so for
+// the simulator's steady state it can be evaluated once per (node,
+// destination) pair and stored in a flat candidate arena — the same
+// "routing logic as a lookup table" move hardware routers make. The
+// simulator then serves every header's candidate list as a slice into
+// the arena instead of re-running the turn-model calculus per packet
+// per router.
+//
+// Arrival ports are folded away: every relation in this package except
+// TurnGraphRouting produces the same candidates for every non-injected
+// arrival port (most ignore the port entirely; WrapFirstHop branches
+// only on Injected). Such relations declare it via the ArrivalInvariant
+// marker, and the table keeps just two candidate lists per (node,
+// destination) pair — one for injected headers, one for arrived ones.
+// Relations without the marker are verified exhaustively at compile
+// time; a relation that genuinely depends on the arrival port fails
+// compilation and the simulator falls back to direct evaluation.
+
+// MaxTableNodes bounds the topologies worth compiling: a table is
+// quadratic in the node count (two spans per node pair), so beyond this
+// size compilation is refused and callers fall back to direct
+// evaluation.
+const MaxTableNodes = 1024
+
+// ArrivalInvariant marks a VCAlgorithm whose CandidatesVC result is
+// independent of the arrival port: for fixed (cur, dst), every VCInPort
+// with Injected == false yields the same candidate list. (The injected
+// case may still differ, as in WrapFirstHop.) Declaring it lets Compile
+// evaluate one representative arrival port per node pair instead of
+// verifying all of them.
+type ArrivalInvariant interface {
+	ArrivalInvariant() bool
+}
+
+func isArrivalInvariant(alg VCAlgorithm) bool {
+	a, ok := alg.(ArrivalInvariant)
+	return ok && a.ArrivalInvariant()
+}
+
+// Candidate is one precompiled, pre-filtered routing candidate: the
+// virtual direction packed into two bytes, its profitability, and its
+// resolved output index in the canonical simulator port layout (see
+// OutIndex). Only the per-cycle output-busy check remains for the
+// simulator to do.
+type Candidate struct {
+	// Out is OutIndex(cur, Dir, VC) for the node the candidate was
+	// compiled at.
+	Out int32
+	// Dir is topology.Direction.Index() of the output direction.
+	Dir uint8
+	// VC is the virtual channel.
+	VC uint8
+	// Prof records whether the hop reduces the distance to the
+	// destination (a "profitable" move in the paper's terms).
+	Prof bool
+}
+
+// Direction unpacks the candidate's output direction.
+func (c Candidate) Direction() topology.Direction {
+	return topology.DirectionFromIndex(int(c.Dir))
+}
+
+// OutIndex returns the canonical dense output index shared between
+// compiled tables and the simulator: routers are laid out consecutively
+// with 2n*vcs+1 virtual ports each (the last being the
+// injection/ejection port), and direction d's virtual channel vc
+// occupies port d.Index()*vcs + vc within its router.
+func OutIndex(v topology.NodeID, d topology.Direction, vc, ndim, vcs int) int32 {
+	vport := 2*ndim*vcs + 1
+	return int32(int(v)*vport + d.Index()*vcs + vc)
+}
+
+// span is a half-open range into Table.cands.
+type span struct{ start, end int32 }
+
+// Table is a compiled routing relation: per (node, destination) pair,
+// the filtered candidate lists for injected and arrived headers, stored
+// in one flat arena. A table is immutable after compilation and safe
+// for concurrent readers; it is valid only at the fault epoch it was
+// compiled at (see Epoch and TableFor).
+type Table struct {
+	alg   VCAlgorithm
+	topo  *topology.Topology
+	epoch int
+	n     int
+	// spans holds two entries per (cur, dst) pair at (cur*n+dst)*2:
+	// the injected list, then the arrived list. When the two lists are
+	// equal (every relation but WrapFirstHop) the spans alias.
+	spans []span
+	cands []Candidate
+}
+
+// Algorithm returns the relation the table was compiled from.
+func (t *Table) Algorithm() VCAlgorithm { return t.alg }
+
+// Epoch returns the topology fault epoch the table was compiled at.
+// A table is stale once Topology.FaultEpoch moves past it.
+func (t *Table) Epoch() int { return t.epoch }
+
+// Lookup returns the compiled candidates for a header at cur destined
+// for dst, injected or arrived. The returned slice aliases the table's
+// arena with its capacity clipped to its length; callers must treat it
+// as read-only.
+func (t *Table) Lookup(cur, dst topology.NodeID, injected bool) []Candidate {
+	i := (int(cur)*t.n + int(dst)) * 2
+	if !injected {
+		i++
+	}
+	s := t.spans[i]
+	return t.cands[s.start:s.end:s.end]
+}
+
+// MemoryBytes estimates the table's footprint, for capacity planning
+// and the DESIGN.md numbers.
+func (t *Table) MemoryBytes() int {
+	return len(t.spans)*8 + len(t.cands)*8
+}
+
+// compileCands evaluates the relation once and applies the simulator's
+// candidate filter: virtual channel in range, channel existing and not
+// faulty. Profitability is computed unconditionally — the simulator
+// reads it only under misroute patience or metrics, so precomputing it
+// is behavior-neutral.
+func compileCands(alg VCAlgorithm, t *topology.Topology, cur, dst topology.NodeID,
+	in VCInPort, vcs int, raw []VirtualDirection, out []Candidate) ([]Candidate, []VirtualDirection) {
+	raw = alg.CandidatesVC(cur, dst, in, raw[:0])
+	ndim := t.NumDims()
+	baseDist := t.Distance(cur, dst)
+	for _, vd := range raw {
+		if vd.VC < 0 || vd.VC >= vcs {
+			continue
+		}
+		if !t.Enabled(topology.Channel{From: cur, Dir: vd.Dir}) {
+			continue
+		}
+		prof := false
+		if next, ok := t.Neighbor(cur, vd.Dir); ok && t.Distance(next, dst) < baseDist {
+			prof = true
+		}
+		out = append(out, Candidate{
+			Out:  OutIndex(cur, vd.Dir, vd.VC, ndim, vcs),
+			Dir:  uint8(vd.Dir.Index()),
+			VC:   uint8(vd.VC),
+			Prof: prof,
+		})
+	}
+	return out, raw
+}
+
+func candsEqual(a, b []Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compile builds the routing table for alg at its topology's current
+// fault epoch. It returns an error — and the caller falls back to
+// direct evaluation — when the topology is too large or the relation's
+// candidates depend on the arrival port (verified exhaustively unless
+// the relation declares ArrivalInvariant).
+func Compile(alg VCAlgorithm) (*Table, error) {
+	t := alg.Topology()
+	n := t.Nodes()
+	if n > MaxTableNodes {
+		return nil, fmt.Errorf("routing: %s: %d nodes exceed the %d-node table limit", alg.Name(), n, MaxTableNodes)
+	}
+	vcs := alg.NumVCs()
+	if vcs < 1 || vcs > 256 {
+		return nil, fmt.Errorf("routing: %s: %d virtual channels not compilable", alg.Name(), vcs)
+	}
+	ndim2 := 2 * t.NumDims()
+	if ndim2 > 256 {
+		return nil, fmt.Errorf("routing: %s: direction index does not fit the packed candidate", alg.Name())
+	}
+	invariant := isArrivalInvariant(alg)
+	tab := &Table{
+		alg:   alg,
+		topo:  t,
+		epoch: t.FaultEpoch(),
+		n:     n,
+		spans: make([]span, n*n*2),
+	}
+	var raw []VirtualDirection
+	var injList, arrList, probe []Candidate
+	for cur := 0; cur < n; cur++ {
+		curID := topology.NodeID(cur)
+		for dst := 0; dst < n; dst++ {
+			if dst == cur {
+				continue // headers at their destination eject; both spans stay empty
+			}
+			dstID := topology.NodeID(dst)
+			injList, raw = compileCands(alg, t, curID, dstID, VCInjected, vcs, raw, injList[:0])
+			if invariant {
+				arrList, raw = compileCands(alg, t, curID, dstID,
+					VCInPort{Dir: topology.Direction{}}, vcs, raw, arrList[:0])
+			} else {
+				// Verify arrival invariance over every port a packet can
+				// actually arrive on: travelling d means it came over the
+				// channel paired with cur's d.Opposite() channel.
+				first := true
+				for di := 0; di < ndim2; di++ {
+					d := topology.DirectionFromIndex(di)
+					if !t.HasChannel(curID, d.Opposite()) {
+						continue
+					}
+					for vc := 0; vc < vcs; vc++ {
+						probe, raw = compileCands(alg, t, curID, dstID,
+							VCInPort{Dir: d, VC: vc}, vcs, raw, probe[:0])
+						if first {
+							arrList = append(arrList[:0], probe...)
+							first = false
+						} else if !candsEqual(arrList, probe) {
+							return nil, fmt.Errorf("routing: %s depends on the arrival port at node %d (dst %d); not compilable",
+								alg.Name(), cur, dst)
+						}
+					}
+				}
+				if first {
+					// No network input can reach cur (isolated by faults);
+					// only the injected list matters.
+					arrList = append(arrList[:0], injList...)
+				}
+			}
+			si := (cur*n + dst) * 2
+			tab.spans[si] = appendSpan(tab, injList)
+			if candsEqual(injList, arrList) {
+				tab.spans[si+1] = tab.spans[si]
+			} else {
+				tab.spans[si+1] = appendSpan(tab, arrList)
+			}
+		}
+	}
+	return tab, nil
+}
+
+func appendSpan(tab *Table, cands []Candidate) span {
+	start := int32(len(tab.cands))
+	tab.cands = append(tab.cands, cands...)
+	return span{start: start, end: int32(len(tab.cands))}
+}
+
+// tableEntry is one cached compilation: the table at its current epoch,
+// or a sticky failure (a relation that is not compilable at one epoch
+// will not become compilable at another).
+type tableEntry struct {
+	mu     sync.Mutex
+	table  *Table
+	failed bool
+	hooked bool
+}
+
+// maxCachedTables caps the process-wide table cache. Tables are a few
+// megabytes on the largest figure topologies, and test suites churn
+// through many short-lived algorithm instances; beyond the cap an
+// arbitrary entry is evicted (its topology hook stays registered but
+// only clears a dead entry).
+const maxCachedTables = 32
+
+var (
+	tableCacheMu sync.Mutex
+	tableCache   = map[VCAlgorithm]*tableEntry{}
+)
+
+// TableFor returns the compiled routing table for alg at its topology's
+// current fault epoch, compiling on first use and caching per algorithm
+// value. Repeated calls — e.g. one simulation per load point sharing
+// one algorithm instance — reuse the compilation. It returns nil when
+// alg is not compilable (arrival-dependent relations, oversized
+// topologies, algorithm values that cannot be map keys); callers fall
+// back to direct CandidatesVC evaluation.
+//
+// When the topology's fault set changes, the cached table is dropped by
+// the fault-change hook and recompiled at the new epoch on the next
+// call.
+func TableFor(alg VCAlgorithm) *Table {
+	if alg == nil || !reflect.TypeOf(alg).Comparable() {
+		return nil
+	}
+	tableCacheMu.Lock()
+	e, ok := tableCache[alg]
+	if !ok {
+		if len(tableCache) >= maxCachedTables {
+			for k := range tableCache {
+				delete(tableCache, k)
+				break
+			}
+		}
+		e = &tableEntry{}
+		tableCache[alg] = e
+	}
+	tableCacheMu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.failed {
+		return nil
+	}
+	topo := alg.Topology()
+	if e.table != nil && e.table.epoch == topo.FaultEpoch() {
+		return e.table
+	}
+	if !e.hooked {
+		e.hooked = true
+		// Drop the stale table as soon as the fault set changes; the
+		// epoch check above is the correctness mechanism, the hook just
+		// releases the memory eagerly. notifyFaultChange runs hooks
+		// outside the topology's own lock, so taking e.mu here is safe.
+		topo.OnFaultChange(func() {
+			e.mu.Lock()
+			e.table = nil
+			e.mu.Unlock()
+		})
+	}
+	tab, err := Compile(alg)
+	if err != nil {
+		e.failed = true
+		return nil
+	}
+	e.table = tab
+	return tab
+}

@@ -1,0 +1,225 @@
+package routing
+
+import (
+	"testing"
+
+	"turnmodel/internal/core"
+	"turnmodel/internal/topology"
+)
+
+// directCands is the reference the compiled table must match: one
+// CandidatesVC evaluation pushed through the same filter the simulator
+// applies per packet.
+func directCands(alg VCAlgorithm, cur, dst topology.NodeID, in VCInPort) []Candidate {
+	out, _ := compileCands(alg, alg.Topology(), cur, dst, in, alg.NumVCs(), nil, nil)
+	return out
+}
+
+// arrivalPorts enumerates every (direction, vc) a packet can arrive at
+// cur on.
+func arrivalPorts(t *topology.Topology, cur topology.NodeID, vcs int) []VCInPort {
+	var ports []VCInPort
+	for di := 0; di < 2*t.NumDims(); di++ {
+		d := topology.DirectionFromIndex(di)
+		if !t.HasChannel(cur, d.Opposite()) {
+			continue
+		}
+		for vc := 0; vc < vcs; vc++ {
+			ports = append(ports, VCInPort{Dir: d, VC: vc})
+		}
+	}
+	return ports
+}
+
+// TestCompileMatchesDirect: for every built-in relation, topology pair
+// and arrival port, Table.Lookup returns exactly the filtered list a
+// direct evaluation produces.
+func TestCompileMatchesDirect(t *testing.T) {
+	mesh := topology.NewMesh(5, 4)
+	cube := topology.NewHypercube(4)
+	torus := topology.NewTorus(5, 2)
+	algs := []VCAlgorithm{
+		AsVC(NewDimensionOrder(mesh)),
+		AsVC(NewWestFirst(mesh)),
+		AsVC(NewNorthLast(mesh)),
+		AsVC(NewNegativeFirst(mesh)),
+		AsVC(NewFullyAdaptive(mesh)),
+		AsVC(NewPCube(cube)),
+		AsVC(NewTorusDOR(torus)),
+		NewDatelineDOR(torus),
+		AsVC(NewWrapFirstHop(NewNegativeFirst(torus))),
+		AsVC(NewNegativeFirstTorus(torus)),
+		NewDoubleY(mesh),
+	}
+	for _, alg := range algs {
+		tab, err := Compile(alg)
+		if err != nil {
+			t.Errorf("%s: compile failed: %v", alg.Name(), err)
+			continue
+		}
+		topo := alg.Topology()
+		n := topo.Nodes()
+		for cur := topology.NodeID(0); cur < topology.NodeID(n); cur++ {
+			for dst := topology.NodeID(0); dst < topology.NodeID(n); dst++ {
+				if cur == dst {
+					continue
+				}
+				want := directCands(alg, cur, dst, VCInjected)
+				if got := tab.Lookup(cur, dst, true); !candsEqual(got, want) {
+					t.Fatalf("%s: injected lookup %d->%d = %v, want %v", alg.Name(), cur, dst, got, want)
+				}
+				arr := tab.Lookup(cur, dst, false)
+				for _, in := range arrivalPorts(topo, cur, alg.NumVCs()) {
+					want := directCands(alg, cur, dst, in)
+					if !candsEqual(arr, want) {
+						t.Fatalf("%s: arrived lookup %d->%d via %v = %v, want %v", alg.Name(), cur, dst, in, arr, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompileWrapFirstHopSpans: WrapFirstHop offers wraparounds only to
+// injected headers, so the table's injected and arrived spans must
+// genuinely differ where a wraparound is on a shortest path.
+func TestCompileWrapFirstHopSpans(t *testing.T) {
+	torus := topology.NewTorus(6, 2)
+	alg := AsVC(NewWrapFirstHop(NewNegativeFirst(torus)))
+	tab, err := Compile(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node (0,0) to (5,0): the -x wraparound is the shortest way, offered
+	// when injected only.
+	cur := torus.ID(topology.Coord{0, 0})
+	dst := torus.ID(topology.Coord{5, 0})
+	inj := tab.Lookup(cur, dst, true)
+	arr := tab.Lookup(cur, dst, false)
+	if candsEqual(inj, arr) {
+		t.Fatalf("injected and arrived candidates should differ at %d->%d: both %v", cur, dst, inj)
+	}
+	hasNegX := func(cs []Candidate) bool {
+		for _, c := range cs {
+			if c.Direction() == (topology.Direction{Dim: 0, Pos: false}) {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasNegX(inj) {
+		t.Errorf("injected candidates %v should offer the -x wraparound", inj)
+	}
+	if hasNegX(arr) {
+		t.Errorf("arrived candidates %v should not offer the -x wraparound", arr)
+	}
+}
+
+// plainVC ignores the arrival port but does not declare
+// ArrivalInvariant, exercising the exhaustive verification path.
+type plainVC struct{ inner VCAlgorithm }
+
+func (p plainVC) Name() string                 { return "plain-" + p.inner.Name() }
+func (p plainVC) Topology() *topology.Topology { return p.inner.Topology() }
+func (p plainVC) NumVCs() int                  { return p.inner.NumVCs() }
+func (p plainVC) CandidatesVC(cur, dst topology.NodeID, _ VCInPort, buf []VirtualDirection) []VirtualDirection {
+	return p.inner.CandidatesVC(cur, dst, VCInjected, buf)
+}
+
+func TestCompileVerifiesUnmarkedRelations(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	alg := plainVC{AsVC(NewNegativeFirst(mesh))}
+	if _, ok := VCAlgorithm(alg).(ArrivalInvariant); ok {
+		t.Fatal("plainVC must not implement ArrivalInvariant for this test to exercise verification")
+	}
+	tab, err := Compile(alg)
+	if err != nil {
+		t.Fatalf("verification should accept an arrival-invariant relation: %v", err)
+	}
+	cur, dst := topology.NodeID(5), topology.NodeID(10)
+	if got, want := tab.Lookup(cur, dst, false), directCands(alg, cur, dst, VCInjected); !candsEqual(got, want) {
+		t.Errorf("verified table lookup %v, want %v", got, want)
+	}
+}
+
+// TestCompileArrivalDependentFails: turn-graph routing genuinely
+// consults the arrival direction (it forbids turns), so compilation
+// must refuse it and TableFor must report it as uncompilable.
+func TestCompileArrivalDependentFails(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	alg := AsVC(NewTurnGraphRouting(mesh, core.WestFirstSet(), false))
+	if _, err := Compile(alg); err == nil {
+		t.Fatal("Compile accepted an arrival-dependent relation")
+	}
+	if tab := TableFor(alg); tab != nil {
+		t.Fatal("TableFor returned a table for an arrival-dependent relation")
+	}
+	// The failure is sticky: a second call short-circuits to nil.
+	if tab := TableFor(alg); tab != nil {
+		t.Fatal("sticky failure not honored")
+	}
+}
+
+// TestTableForCacheAndFaultInvalidation: TableFor reuses compilations
+// per algorithm value and recompiles when the fault set changes, with
+// faulty channels filtered out of the new table.
+func TestTableForCacheAndFaultInvalidation(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	alg := AsVC(NewNegativeFirst(mesh))
+	t1 := TableFor(alg)
+	if t1 == nil {
+		t.Fatal("TableFor failed for a compilable relation")
+	}
+	if t2 := TableFor(alg); t2 != t1 {
+		t.Fatal("TableFor did not reuse the cached table")
+	}
+	broken := topology.Channel{From: mesh.ID(topology.Coord{1, 1}), Dir: topology.Direction{Dim: 0, Pos: false}}
+	mesh.DisableChannel(broken)
+	defer mesh.EnableChannel(broken)
+	t3 := TableFor(alg)
+	if t3 == nil || t3 == t1 {
+		t.Fatal("TableFor did not recompile after a fault change")
+	}
+	if t3.Epoch() != mesh.FaultEpoch() {
+		t.Errorf("recompiled table epoch %d, want %d", t3.Epoch(), mesh.FaultEpoch())
+	}
+	// Every lookup at the faulty node must exclude the disabled channel.
+	for dst := topology.NodeID(0); dst < topology.NodeID(mesh.Nodes()); dst++ {
+		if dst == broken.From {
+			continue
+		}
+		for _, injected := range []bool{true, false} {
+			for _, c := range t3.Lookup(broken.From, dst, injected) {
+				if c.Direction() == broken.Dir {
+					t.Fatalf("table offers the disabled channel %v for dst %d", broken, dst)
+				}
+			}
+		}
+	}
+}
+
+// TestCandidateOutIndex: the packed output index matches the canonical
+// simulator layout formula for a multi-VC relation.
+func TestCandidateOutIndex(t *testing.T) {
+	torus := topology.NewTorus(5, 2)
+	alg := VCAlgorithm(NewDatelineDOR(torus))
+	tab, err := Compile(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcs, ndim := alg.NumVCs(), torus.NumDims()
+	vport := 2*ndim*vcs + 1
+	for cur := topology.NodeID(0); cur < topology.NodeID(torus.Nodes()); cur++ {
+		for dst := topology.NodeID(0); dst < topology.NodeID(torus.Nodes()); dst++ {
+			if cur == dst {
+				continue
+			}
+			for _, c := range tab.Lookup(cur, dst, true) {
+				want := int32(int(cur)*vport + c.Direction().Index()*vcs + int(c.VC))
+				if c.Out != want {
+					t.Fatalf("candidate %+v at node %d: out %d, want %d", c, cur, c.Out, want)
+				}
+			}
+		}
+	}
+}

@@ -48,6 +48,10 @@ func NewDoubleY(t *topology.Topology) *DoubleY {
 // simply never use class 1.
 func (a *DoubleY) NumVCs() int { return 2 }
 
+// ArrivalInvariant marks the relation compilable: the y-channel class
+// depends only on the remaining x offset, never on the arrival port.
+func (a *DoubleY) ArrivalInvariant() bool { return true }
+
 // CandidatesVC implements VCAlgorithm: all profitable directions, with
 // y moves classed by the remaining westward need.
 func (a *DoubleY) CandidatesVC(cur, dst topology.NodeID, _ VCInPort, buf []VirtualDirection) []VirtualDirection {

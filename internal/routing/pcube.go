@@ -94,6 +94,10 @@ func NewPCube(t *topology.Topology) *PCube {
 	return &PCube{base{topo: t, name: "p-cube"}}
 }
 
+// ArrivalInvariant marks the relation compilable: Candidates ignores
+// the arrival port.
+func (a *PCube) ArrivalInvariant() bool { return true }
+
 // Candidates implements Algorithm.
 func (a *PCube) Candidates(cur, dst topology.NodeID, _ InPort, buf []topology.Direction) []topology.Direction {
 	a.checkDistinct(cur, dst)

@@ -111,6 +111,11 @@ func NewDimensionOrder(t *topology.Topology) *DimensionOrder {
 	return &DimensionOrder{base{topo: t, name: name}}
 }
 
+// ArrivalInvariant marks the relation compilable: Candidates ignores
+// the arrival port. (Defined per concrete type, not on base: embedding
+// base does not imply invariance — see TurnGraphRouting.)
+func (a *DimensionOrder) ArrivalInvariant() bool { return true }
+
 // Candidates implements Algorithm: the single profitable direction in
 // the lowest unresolved dimension.
 func (a *DimensionOrder) Candidates(cur, dst topology.NodeID, _ InPort, buf []topology.Direction) []topology.Direction {
@@ -144,6 +149,10 @@ func NewNegativeFirst(t *topology.Topology) *NegativeFirst {
 	}
 	return &NegativeFirst{base{topo: t, name: name}}
 }
+
+// ArrivalInvariant marks the relation compilable: Candidates ignores
+// the arrival port.
+func (a *NegativeFirst) ArrivalInvariant() bool { return true }
 
 // Candidates implements Algorithm.
 func (a *NegativeFirst) Candidates(cur, dst topology.NodeID, _ InPort, buf []topology.Direction) []topology.Direction {
@@ -200,6 +209,10 @@ func NewWestFirst(t *topology.Topology) *ABONF {
 	}
 	return NewABONF(t, 1)
 }
+
+// ArrivalInvariant marks the relation compilable: Candidates ignores
+// the arrival port.
+func (a *ABONF) ArrivalInvariant() bool { return true }
 
 // Candidates implements Algorithm.
 func (a *ABONF) Candidates(cur, dst topology.NodeID, _ InPort, buf []topology.Direction) []topology.Direction {
@@ -260,6 +273,10 @@ func NewNorthLast(t *topology.Topology) *ABOPL {
 	return NewABOPL(t, 0)
 }
 
+// ArrivalInvariant marks the relation compilable: Candidates ignores
+// the arrival port.
+func (a *ABOPL) ArrivalInvariant() bool { return true }
+
 // Candidates implements Algorithm.
 func (a *ABOPL) Candidates(cur, dst topology.NodeID, _ InPort, buf []topology.Direction) []topology.Direction {
 	a.checkDistinct(cur, dst)
@@ -294,6 +311,10 @@ type FullyAdaptive struct{ base }
 func NewFullyAdaptive(t *topology.Topology) *FullyAdaptive {
 	return &FullyAdaptive{base{topo: t, name: "fully-adaptive"}}
 }
+
+// ArrivalInvariant marks the relation compilable: Candidates ignores
+// the arrival port.
+func (a *FullyAdaptive) ArrivalInvariant() bool { return true }
 
 // Candidates implements Algorithm.
 func (a *FullyAdaptive) Candidates(cur, dst topology.NodeID, _ InPort, buf []topology.Direction) []topology.Direction {

@@ -42,6 +42,16 @@ func NewWrapFirstHop(inner Algorithm) *WrapFirstHop {
 // Inner returns the wrapped mesh algorithm.
 func (a *WrapFirstHop) Inner() Algorithm { return a.inner }
 
+// ArrivalInvariant forwards the inner algorithm's marker. WrapFirstHop
+// itself branches only on Injected — wraparounds are offered on the
+// first hop alone — so its arrived-header candidates are as invariant
+// as the inner relation's (the injected and arrived lists still differ,
+// which the compiled table's separate spans capture).
+func (a *WrapFirstHop) ArrivalInvariant() bool {
+	inner, ok := a.inner.(ArrivalInvariant)
+	return ok && inner.ArrivalInvariant()
+}
+
 // Candidates implements Algorithm. On the first hop it offers, before
 // the inner algorithm's candidates, every wraparound channel that lies
 // on a shortest torus path to the destination; a wraparound is only
@@ -90,6 +100,10 @@ func NewNegativeFirstTorus(t *topology.Topology) *NegativeFirstTorus {
 	}
 	return &NegativeFirstTorus{base{topo: t, name: "negative-first-torus"}}
 }
+
+// ArrivalInvariant marks the relation compilable: Candidates ignores
+// the arrival port.
+func (a *NegativeFirstTorus) ArrivalInvariant() bool { return true }
 
 // Candidates implements Algorithm. Phase 1 (some coordinate exceeds the
 // destination's): all negatively classified channels in such dimensions,

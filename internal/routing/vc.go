@@ -75,6 +75,13 @@ func AsVC(alg Algorithm) VCAlgorithm {
 
 func (s singleVC) NumVCs() int { return 1 }
 
+// ArrivalInvariant forwards the wrapped algorithm's marker: the adapter
+// adds no arrival dependence of its own.
+func (s singleVC) ArrivalInvariant() bool {
+	a, ok := s.Algorithm.(ArrivalInvariant)
+	return ok && a.ArrivalInvariant()
+}
+
 func (s singleVC) CandidatesVC(cur, dst topology.NodeID, in VCInPort, buf []VirtualDirection) []VirtualDirection {
 	var ip InPort
 	if in.Injected {
@@ -104,6 +111,10 @@ func NewTorusDOR(t *topology.Topology) *TorusDOR {
 	}
 	return &TorusDOR{base{topo: t, name: "torus-dor"}}
 }
+
+// ArrivalInvariant marks the relation compilable: Candidates ignores
+// the arrival port.
+func (a *TorusDOR) ArrivalInvariant() bool { return true }
 
 // Candidates implements Algorithm: the shortest-way direction in the
 // lowest unresolved dimension, wrapping when shorter.
@@ -137,6 +148,10 @@ func NewDatelineDOR(t *topology.Topology) *DatelineDOR {
 
 // NumVCs implements VCAlgorithm.
 func (a *DatelineDOR) NumVCs() int { return 2 }
+
+// ArrivalInvariant marks the relation compilable: the dateline class is
+// a function of position alone, never of the arrival port.
+func (a *DatelineDOR) ArrivalInvariant() bool { return true }
 
 // Topology implements VCAlgorithm (promoted from base).
 

@@ -216,6 +216,12 @@ type Config struct {
 	// allocations, flit forwards, deliveries).
 	Observer Observer
 
+	// DisableRouteTable turns off compiled route tables, forcing direct
+	// CandidatesVC evaluation for every header. Results are bit-
+	// identical either way (the determinism tests assert it); the switch
+	// exists for those A/B tests and for diagnosing table issues.
+	DisableRouteTable bool
+
 	// Metrics, if non-nil, attaches a counter collector to the run: the
 	// engine binds it at construction and fills its per-router and
 	// per-channel counters, time series and latency histogram over the

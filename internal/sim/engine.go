@@ -38,16 +38,15 @@ type flit struct {
 	tail bool
 }
 
-// cachedCand is one pre-filtered routing candidate for the packet whose
-// header waits at the front of an input buffer: the virtual direction,
-// its resolved global output index, and whether taking it reduces the
-// distance to the destination. Candidates are cached per (input buffer,
-// packet, fault epoch); only the output-busy check remains per cycle.
-type cachedCand struct {
-	vd   routing.VirtualDirection
-	out  int32
-	prof bool
-}
+// pktChunk is the packet freelist's refill granularity: a cache miss
+// allocates this many packets in one block.
+const pktChunk = 64
+
+// flitArenaMaxFlits caps the preallocated flit-buffer arena. Whole-
+// packet buffers (store-and-forward, virtual cut-through) on large
+// multi-VC topologies would reserve tens of megabytes up front; such
+// configurations keep the lazily grown per-buffer slices instead.
+const flitArenaMaxFlits = 1 << 20
 
 // inbuf is the buffer of one router input channel (one per virtual
 // channel of each physical input, plus the injection channel).
@@ -63,13 +62,19 @@ type inbuf struct {
 	// of the local first-come-first-served input selection policy.
 	headArrival int64
 
-	// cands caches the filtered routing candidates for the header at the
-	// front of this buffer. It is valid while candPkt matches that
-	// header's packet and candEpoch matches the topology fault epoch; a
-	// new header (new packet id) or a fault-state change invalidates it.
-	cands     []cachedCand
+	// cands is the filtered routing candidate list for the header at the
+	// front of this buffer: a read-only slice into the compiled route
+	// table's arena when one applies, or a view of own otherwise. It is
+	// valid while candPkt matches that header's packet and candEpoch
+	// matches the topology fault epoch; a new header (new packet id) or
+	// a fault-state change invalidates it.
+	cands     []routing.Candidate
 	candPkt   int64
 	candEpoch int32
+	// own is the buffer-owned candidate storage for the direct
+	// evaluation fallback. The fallback must never build into cands
+	// in place: cands may alias the shared table arena.
+	own []routing.Candidate
 }
 
 // Engine runs one simulation. Construct with New, then call Run.
@@ -91,6 +96,12 @@ type Engine struct {
 	nphys int // physical links per router incl. ejection: 2n + 1
 	depth int // effective input buffer capacity in flits
 
+	// table is the compiled route table for alg at the current fault
+	// epoch, or nil when the relation is not compilable (or tables are
+	// disabled). With a table, fillCandCache is a slice reference into
+	// the table arena; without, it evaluates the relation directly.
+	table *routing.Table
+
 	// Flat state, indexed router*vport+port unless noted.
 	inbufs   []inbuf
 	busyBy   []int32 // virtual output port -> input index holding it, or -1
@@ -99,11 +110,21 @@ type Engine struct {
 	upOut    []int32 // input index -> upstream virtual output index, -1 injection
 	physOf   []int32 // virtual output port -> physical link slot in linkUsed
 
-	queues   [][]*packet // per-node source queues
-	nextGen  []float64   // per-node next generation time in cycles
-	genRate  float64     // messages per cycle per node
+	queues   []pktRing // per-node source queues
+	nextGen  []float64 // per-node next generation time in cycles
+	genRate  float64   // messages per cycle per node
+	lenCum   []float64 // cumulative packet-length weights
+	lenTotal float64   // total packet-length weight
 	script   []ScriptedMessage
 	scriptAt int
+
+	// freePkts recycles delivered packet structs: deliver pushes (after
+	// every consumer — observers, metrics, stats — has read the packet)
+	// and generate pops, resetting at acquisition so stale pointers held
+	// by tests after a run keep their final values. Refills allocate
+	// pktChunk packets at a time, so steady state stops allocating once
+	// the pool covers the in-flight peak.
+	freePkts []*packet
 
 	cycle     int64
 	lastMove  int64
@@ -140,8 +161,8 @@ type Engine struct {
 	// hot path performs no heap allocations.
 	waiting     []int32                    // inputs with an eligible header, len vport
 	rawCands    []routing.VirtualDirection // CandidatesVC result buffer
-	freeCands   []cachedCand               // candidates whose output is free
-	profCands   []cachedCand               // distance-reducing subset
+	freeCands   []routing.Candidate        // candidates whose output is free
+	profCands   []routing.Candidate        // distance-reducing subset
 	seedScratch []int32                    // move seeding order buffer (vcs > 1)
 
 	// linkFlits counts flits carried per physical link during the
@@ -208,7 +229,7 @@ func New(cfg Config) (*Engine, error) {
 		outDest:        make([]int32, n*vport),
 		upOut:          make([]int32, n*vport),
 		physOf:         make([]int32, n*vport),
-		queues:         make([][]*packet, n),
+		queues:         make([]pktRing, n),
 		injUsed:        make([]bool, n*vport),
 		nextGen:        make([]float64, n),
 		inWork:         make([]bool, n*vport),
@@ -217,9 +238,35 @@ func New(cfg Config) (*Engine, error) {
 		lastFaultEpoch: int32(t.FaultEpoch()),
 		waiting:        make([]int32, vport),
 		rawCands:       make([]routing.VirtualDirection, 0, ndim2*vcs),
-		freeCands:      make([]cachedCand, 0, ndim2*vcs),
-		profCands:      make([]cachedCand, 0, ndim2*vcs),
+		freeCands:      make([]routing.Candidate, 0, ndim2*vcs),
+		profCands:      make([]routing.Candidate, 0, ndim2*vcs),
 		script:         c.Script,
+	}
+	// Precompute the packet-length distribution's cumulative weights so
+	// drawLength no longer sums the weight vector per draw.
+	e.lenCum = make([]float64, len(c.LengthWeights))
+	for i, w := range c.LengthWeights {
+		e.lenTotal += w
+		e.lenCum[i] = e.lenTotal
+	}
+	if !c.DisableRouteTable {
+		// Compile (or fetch the cached compilation of) the routing
+		// relation into a flat (node, dst) candidate table. The table's
+		// Candidate.Out indices use routing.OutIndex, which is exactly
+		// this engine's port layout. nil means the relation is not
+		// compilable; fillCandCache then evaluates it directly.
+		e.table = routing.TableFor(alg)
+	}
+	if slots := n * vport * e.depth; slots <= flitArenaMaxFlits {
+		// One arena backs every input buffer: each buffer gets a
+		// zero-length slice with capacity depth, and since hasSpace
+		// bounds every append by depth, no buffer ever escapes its
+		// segment. This removes the per-buffer lazy grow allocations.
+		arena := make([]flit, slots)
+		for i := range e.inbufs {
+			off := i * e.depth
+			e.inbufs[i].q = arena[off:off : off+e.depth]
+		}
 	}
 	for i := range e.busyBy {
 		e.busyBy[i] = -1
@@ -286,17 +333,40 @@ func (e *Engine) physIndex(out int32) int32 {
 	return int32(r*e.nphys + p/e.vcs)
 }
 
+// newPacket pops a recycled packet from the freelist, or allocates a
+// fresh block. The packet is reset here, at acquisition — not at
+// release — so pointers observers keep past delivery retain their final
+// values until the struct is reissued.
+func (e *Engine) newPacket() *packet {
+	if n := len(e.freePkts); n > 0 {
+		p := e.freePkts[n-1]
+		e.freePkts = e.freePkts[:n-1]
+		*p = packet{}
+		return p
+	}
+	block := make([]packet, pktChunk)
+	for i := 1; i < pktChunk; i++ {
+		e.freePkts = append(e.freePkts, &block[i])
+	}
+	return &block[0]
+}
+
+// releasePacket returns a fully delivered packet to the freelist. The
+// caller guarantees no flit or queue still references it.
+func (e *Engine) releasePacket(p *packet) {
+	e.freePkts = append(e.freePkts, p)
+}
+
 func (e *Engine) generate() {
 	if e.script != nil {
 		for e.scriptAt < len(e.script) && e.script[e.scriptAt].Cycle <= e.cycle {
 			m := e.script[e.scriptAt]
 			e.scriptAt++
-			p := &packet{
-				id: e.nextPktID, src: m.Src, dst: m.Dst, length: m.Length,
-				firstDir: m.FirstDir, genCycle: e.cycle,
-			}
+			p := e.newPacket()
+			p.id, p.src, p.dst, p.length = e.nextPktID, m.Src, m.Dst, m.Length
+			p.firstDir, p.genCycle = m.FirstDir, e.cycle
 			e.nextPktID++
-			e.queues[m.Src] = append(e.queues[m.Src], p)
+			e.queues[m.Src].push(p)
 			e.stats.packetsGenerated++
 			e.stats.flitsGenerated += int64(p.length)
 			e.inFlight++
@@ -313,13 +383,12 @@ func (e *Engine) generate() {
 			if dst == src {
 				continue // the pattern sends no traffic from this node
 			}
-			p := &packet{
-				id: e.nextPktID, src: src, dst: dst,
-				length:   e.drawLength(),
-				genCycle: int64(gen),
-			}
+			p := e.newPacket()
+			p.id, p.src, p.dst = e.nextPktID, src, dst
+			p.length = e.drawLength()
+			p.genCycle = int64(gen)
 			e.nextPktID++
-			e.queues[v] = append(e.queues[v], p)
+			e.queues[v].push(p)
 			e.stats.packetsGenerated++
 			e.stats.flitsGenerated += int64(p.length)
 			if e.stats.measuring {
@@ -330,20 +399,17 @@ func (e *Engine) generate() {
 	}
 }
 
+// drawLength samples the packet-length distribution from the cumulative
+// weight table New precomputed; one uniform draw, no per-draw summing.
 func (e *Engine) drawLength() int {
 	if len(e.cfg.Lengths) == 1 {
 		return e.cfg.Lengths[0]
 	}
-	var total float64
-	for _, w := range e.cfg.LengthWeights {
-		total += w
-	}
-	r := e.rng.Float64() * total
-	for i, w := range e.cfg.LengthWeights {
-		if r < w {
+	r := e.rng.Float64() * e.lenTotal
+	for i, c := range e.lenCum {
+		if r < c {
 			return e.cfg.Lengths[i]
 		}
-		r -= w
 	}
 	return e.cfg.Lengths[len(e.cfg.Lengths)-1]
 }
@@ -363,9 +429,14 @@ func (e *Engine) allocate() {
 	if epoch != e.lastFaultEpoch {
 		// Fault state changed mid-run: every blocked header may have
 		// gained or lost candidates, so rescan everything once. The
-		// per-buffer candidate caches self-invalidate via candEpoch.
+		// per-buffer candidate caches self-invalidate via candEpoch, and
+		// the compiled route table is recompiled at the new epoch (nil
+		// if compilation now fails — direct evaluation takes over).
 		e.allocWork.setAll(e.topo.Nodes())
 		e.lastFaultEpoch = epoch
+		if e.table != nil {
+			e.table = routing.TableFor(e.alg)
+		}
 	}
 	e.allocWork.forEach(func(v int32) {
 		if !e.allocateRouter(int(v), epoch) {
@@ -452,7 +523,7 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 		// filtered into the cache.
 		free := e.freeCands[:0]
 		for i := range b.cands {
-			if e.busyBy[b.cands[i].out] < 0 {
+			if e.busyBy[b.cands[i].Out] < 0 {
 				free = append(free, b.cands[i])
 			}
 		}
@@ -470,7 +541,7 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 		if e.cfg.MisrouteAfter > 0 {
 			prof := e.profCands[:0]
 			for i := range free {
-				if free[i].prof {
+				if free[i].Prof {
 					prof = append(prof, free[i])
 				}
 			}
@@ -481,7 +552,7 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 				continue
 			}
 		}
-		var c cachedCand
+		var c routing.Candidate
 		switch e.cfg.Policy {
 		case LowestDimension:
 			c = pick[0] // candidates arrive in ascending dimension order
@@ -490,20 +561,21 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 		default:
 			c = pick[e.rng.Intn(len(pick))]
 		}
-		e.busyBy[c.out] = in
-		b.allocOut = c.out
+		e.busyBy[c.Out] = in
+		b.allocOut = c.Out
 		e.flowing.set(in)
 		if e.m != nil {
 			e.m.Grants[v]++
 			e.m.WaitCycles[v] += e.cycle - b.headArrival
-			if !c.prof {
-				// The candidate cache computes profitability whenever a
-				// collector is attached, so this counts true detours.
+			if !c.Prof {
+				// Candidate profitability is precomputed (route table) or
+				// computed whenever a collector is attached (fallback), so
+				// this counts true detours.
 				e.m.Misroutes[v]++
 			}
 		}
 		if e.cfg.Observer != nil {
-			e.cfg.Observer.Allocate(e.cycle, topology.NodeID(v), c.vd.Dir, c.vd.VC, false)
+			e.cfg.Observer.Allocate(e.cycle, topology.NodeID(v), c.Direction(), int(c.VC), false)
 		}
 	}
 	if blocked > 0 && e.cfg.Input == RandomInput {
@@ -515,14 +587,25 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 	return keep
 }
 
-// fillCandCache computes and caches the filtered routing candidates for
-// the header of packet pkt waiting at the front of input buffer b of
-// router v. The cache keeps every candidate that exists, has a valid
-// virtual channel, and is not faulty; per-cycle allocation then only
-// checks output busyness.
+// fillCandCache refreshes the filtered routing candidate list for the
+// header of packet pkt waiting at the front of input buffer b of router
+// v. With a compiled route table this is a slice reference into the
+// table's arena; otherwise (arrival-dependent relations, scripted
+// first-hop restrictions, tables disabled) the relation is evaluated
+// directly into the buffer-owned fallback storage. Either way the list
+// keeps every candidate that exists, has a valid virtual channel, and
+// is not faulty; per-cycle allocation then only checks output busyness.
 func (e *Engine) fillCandCache(v int, b *inbuf, pkt *packet, epoch int32) {
+	injected := int(b.port) == e.vport-1
+	cur := topology.NodeID(v)
+	if e.table != nil && !(injected && pkt.firstDir != nil) {
+		b.cands = e.table.Lookup(cur, pkt.dst, injected)
+		b.candPkt = pkt.id
+		b.candEpoch = epoch
+		return
+	}
 	var inp routing.VCInPort
-	if int(b.port) == e.vport-1 {
+	if injected {
 		inp = routing.VCInjected
 	} else {
 		inp = routing.VCInPort{
@@ -530,7 +613,6 @@ func (e *Engine) fillCandCache(v int, b *inbuf, pkt *packet, epoch int32) {
 			VC:  int(b.port) % e.vcs,
 		}
 	}
-	cur := topology.NodeID(v)
 	raw := e.alg.CandidatesVC(cur, pkt.dst, inp, e.rawCands[:0])
 	e.rawCands = raw[:0]
 	if inp.Injected && pkt.firstDir != nil {
@@ -549,14 +631,14 @@ func (e *Engine) fillCandCache(v int, b *inbuf, pkt *packet, epoch int32) {
 	// Profitability (does this output reduce the distance?) feeds the
 	// misroute-patience discipline and, when a collector is attached,
 	// the misroute counter. Computing it unconditionally in the
-	// metrics case is behavior-neutral: allocation consults prof only
+	// metrics case is behavior-neutral: allocation consults Prof only
 	// when MisrouteAfter > 0.
 	needProf := e.cfg.MisrouteAfter > 0 || e.m != nil
 	baseDist := 0
 	if needProf {
 		baseDist = e.topo.Distance(cur, pkt.dst)
 	}
-	b.cands = b.cands[:0]
+	own := b.own[:0]
 	for _, vd := range raw {
 		if vd.VC < 0 || vd.VC >= e.vcs {
 			continue
@@ -574,8 +656,15 @@ func (e *Engine) fillCandCache(v int, b *inbuf, pkt *packet, epoch int32) {
 				prof = true
 			}
 		}
-		b.cands = append(b.cands, cachedCand{vd: vd, out: out, prof: prof})
+		own = append(own, routing.Candidate{
+			Out:  out,
+			Dir:  uint8(vd.Dir.Index()),
+			VC:   uint8(vd.VC),
+			Prof: prof,
+		})
 	}
+	b.own = own
+	b.cands = own
 	b.candPkt = pkt.id
 	b.candEpoch = epoch
 }
@@ -655,7 +744,7 @@ func (e *Engine) move(lenStart []int32) {
 	e.seedMoveWork()
 	// Source-queue injections are attempted for every nonempty queue.
 	for v := range e.queues {
-		if len(e.queues[v]) > 0 {
+		if e.queues[v].len() > 0 {
 			e.tryInject(topology.NodeID(v), lenStart)
 		}
 	}
@@ -671,8 +760,8 @@ func (e *Engine) move(lenStart []int32) {
 // the injection buffer, modeling the processor-to-router channel
 // (bandwidth one flit per cycle).
 func (e *Engine) tryInject(v topology.NodeID, lenStart []int32) {
-	q := e.queues[v]
-	if len(q) == 0 {
+	q := &e.queues[v]
+	if q.len() == 0 {
 		return
 	}
 	in := e.injectionIn(v)
@@ -683,7 +772,7 @@ func (e *Engine) tryInject(v topology.NodeID, lenStart []int32) {
 	if !e.hasSpace(in, b, lenStart) {
 		return
 	}
-	p := q[0]
+	p := q.front()
 	f := flit{p: p, head: p.flitsSent == 0, tail: p.flitsSent == p.length-1}
 	b.q = append(b.q, f)
 	if e.m != nil {
@@ -708,7 +797,7 @@ func (e *Engine) tryInject(v topology.NodeID, lenStart []int32) {
 	e.dirtyInj = append(e.dirtyInj, in)
 	e.lastMove = e.cycle
 	if f.tail {
-		e.queues[v] = q[1:]
+		q.pop()
 	}
 }
 
@@ -895,6 +984,10 @@ func (e *Engine) deliver(p *packet) {
 			e.stats.maxLatency = lat
 		}
 	}
+	// Every consumer — observer callbacks, metrics, stats — has read the
+	// packet; recycle it. Its flits are all consumed (the tail is the
+	// last), so nothing in the network still points at it.
+	e.releasePacket(p)
 }
 
 func (e *Engine) countDeliveredFlit() {
@@ -907,8 +1000,10 @@ func (e *Engine) countDeliveredFlit() {
 // un-injected remainder of partially injected packets).
 func (e *Engine) backlogFlits() int64 {
 	var total int64
-	for _, q := range e.queues {
-		for _, p := range q {
+	for i := range e.queues {
+		q := &e.queues[i]
+		for j := 0; j < q.len(); j++ {
+			p := q.at(j)
 			total += int64(p.length - p.flitsSent)
 		}
 	}

@@ -1,0 +1,62 @@
+package sim
+
+// pktRing is a growable FIFO of packet pointers backing one source
+// queue. Unlike the previous append-and-reslice slices, pushes and pops
+// reuse the same storage in steady state, so an arbitrarily long run
+// allocates only while a queue reaches a new high-water mark. Popped
+// slots are nilled so the ring never pins delivered (recycled) packets.
+// The zero value is an empty ring.
+type pktRing struct {
+	buf  []*packet
+	head int
+	n    int
+}
+
+func (r *pktRing) len() int { return r.n }
+
+// front returns the oldest queued packet; the ring must be nonempty.
+func (r *pktRing) front() *packet { return r.buf[r.head] }
+
+// at returns the i-th queued packet, 0 being the front.
+func (r *pktRing) at(i int) *packet {
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return r.buf[j]
+}
+
+func (r *pktRing) push(p *packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = p
+	r.n++
+}
+
+func (r *pktRing) pop() *packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return p
+}
+
+func (r *pktRing) grow() {
+	nc := 2 * len(r.buf)
+	if nc == 0 {
+		nc = 4
+	}
+	nb := make([]*packet, nc)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.at(i)
+	}
+	r.buf, r.head = nb, 0
+}

@@ -76,12 +76,14 @@ func RecordWorkload(cfg Config, horizon int64) ([]ScriptedMessage, error) {
 	for e.cycle = 0; e.cycle < horizon; e.cycle++ {
 		e.generate()
 		for v := range e.queues {
-			for _, p := range e.queues[v] {
+			q := &e.queues[v]
+			for q.len() > 0 {
+				p := q.pop()
 				msgs = append(msgs, ScriptedMessage{
 					Cycle: p.genCycle, Src: p.src, Dst: p.dst, Length: p.length,
 				})
+				e.releasePacket(p)
 			}
-			e.queues[v] = e.queues[v][:0]
 		}
 	}
 	return msgs, nil

@@ -12,6 +12,7 @@ package topology
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // NodeID identifies a node. IDs are dense in [0, Nodes()).
@@ -112,6 +113,13 @@ type Topology struct {
 	// faultEpoch increments whenever the fault set changes, so routing
 	// layers can invalidate reachability caches.
 	faultEpoch int
+
+	// hookMu guards onFault. Registrations may race (e.g. several
+	// simulations compiling route tables for algorithms that share one
+	// topology), while fault changes themselves happen on whichever
+	// goroutine drives the run.
+	hookMu  sync.Mutex
+	onFault []func()
 }
 
 // NewMesh returns an n-dimensional mesh with the given dimension lengths,
@@ -340,12 +348,37 @@ func (t *Topology) DisableChannel(c Channel) {
 	}
 	t.disabled[t.ChannelID(c)] = true
 	t.faultEpoch++
+	t.notifyFaultChange()
 }
 
 // EnableChannel clears the fault on channel c.
 func (t *Topology) EnableChannel(c Channel) {
 	t.disabled[t.ChannelID(c)] = false
 	t.faultEpoch++
+	t.notifyFaultChange()
+}
+
+// OnFaultChange registers fn to be called after every DisableChannel or
+// EnableChannel, once the fault epoch has already advanced. Derived
+// caches (e.g. compiled routing tables) use it to drop stale state
+// eagerly instead of holding it until the next epoch comparison.
+// Callbacks cannot be unregistered; keep them small and idempotent.
+func (t *Topology) OnFaultChange(fn func()) {
+	t.hookMu.Lock()
+	t.onFault = append(t.onFault, fn)
+	t.hookMu.Unlock()
+}
+
+// notifyFaultChange invokes the registered callbacks outside the hook
+// lock, so a callback may itself register further hooks or take locks
+// that are held while registering.
+func (t *Topology) notifyFaultChange() {
+	t.hookMu.Lock()
+	hooks := t.onFault
+	t.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // FaultEpoch increments whenever DisableChannel or EnableChannel is
