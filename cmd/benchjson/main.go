@@ -8,12 +8,17 @@
 //
 // Usage:
 //
-//	benchjson [-o BENCH_3.json] [-benchtime 2s] [-quick]
-//	          [-baseline BENCH_2.json|none] [-only substring]
-//	          [-max-allocs N]
+//	benchjson [-o BENCH_4.json] [-benchtime 2s] [-quick]
+//	          [-baseline BENCH_3.json|none] [-only substring]
+//	          [-max-allocs N] [-shards 0,4]
 //
 // With no -baseline, the highest-numbered BENCH_*.json in the current
 // directory (other than the -o target) is used when one exists.
+// -shards measures each figure benchmark at the listed engine shard
+// counts (0 = serial); every entry records the gomaxprocs and shard
+// setting it ran under, and the delta table warns when a baseline
+// entry was taken at a different setting instead of silently comparing
+// incomparable numbers.
 // -max-allocs turns the run into a regression gate: if any measured
 // benchmark allocates more than N allocations per op, benchjson exits
 // nonzero. CI runs one quick benchmark under a checked-in ceiling so a
@@ -59,6 +64,12 @@ type record struct {
 	Iterations   int     `json:"iterations"`
 	AvgLatencyUs float64 `json:"latency_us"`
 	Throughput   float64 `json:"tput_flits_per_us"`
+	// GoMaxProcs and Shards record the execution environment per entry
+	// (older baselines carry neither and report zero; the delta table
+	// falls back to the report-level gomaxprocs). Shards is the engine
+	// shard count the simulation ran with, 0 for the serial engine.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	Shards     int `json:"shards,omitempty"`
 }
 
 type report struct {
@@ -79,7 +90,17 @@ func run() int {
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to print deltas against; default: highest-numbered in cwd; 'none' disables")
 	only := flag.String("only", "", "run only benchmarks whose name contains this substring")
 	maxAllocs := flag.Int64("max-allocs", 0, "fail (exit 1) if any benchmark exceeds this many allocs/op (0 disables)")
+	shardsFlag := flag.String("shards", "0", "comma-separated engine shard counts to measure (0 = serial engine; counts above 1 get a /shards=N name suffix)")
 	flag.Parse()
+	var shardCounts []int
+	for _, s := range strings.Split(*shardsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -shards entry %q\n", s)
+			return 2
+		}
+		shardCounts = append(shardCounts, n)
+	}
 	if *quick {
 		*benchtime = "2x"
 	}
@@ -104,47 +125,58 @@ func run() int {
 		t := f.Topology()
 		pat := f.Pattern(t)
 		for _, alg := range f.Algs(t) {
-			name := fb.Name + "/" + alg.Name()
-			if *only != "" && !strings.Contains(name, *only) {
-				continue
-			}
-			ran++
-			cfg := sim.Config{
-				Algorithm:     alg,
-				Pattern:       pat,
-				OfferedLoad:   fb.Load,
-				WarmupCycles:  2000,
-				MeasureCycles: 6000,
-			}
-			var last sim.Result
-			var simErr error
-			bench := func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					cfg.Seed = int64(i + 1)
-					r, err := sim.Run(cfg)
-					if err != nil {
-						simErr = err
-						b.FailNow()
-					}
-					last = r
+			for _, shards := range shardCounts {
+				name := fb.Name + "/" + alg.Name()
+				if shards > 1 {
+					// Serial entries keep their historical names so older
+					// baselines still match; sharded lines are distinct
+					// benchmarks with their own trajectory.
+					name += fmt.Sprintf("/shards=%d", shards)
 				}
+				if *only != "" && !strings.Contains(name, *only) {
+					continue
+				}
+				ran++
+				cfg := sim.Config{
+					Algorithm:     alg,
+					Pattern:       pat,
+					OfferedLoad:   fb.Load,
+					WarmupCycles:  2000,
+					MeasureCycles: 6000,
+					Shards:        shards,
+				}
+				var last sim.Result
+				var simErr error
+				bench := func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						cfg.Seed = int64(i + 1)
+						r, err := sim.Run(cfg)
+						if err != nil {
+							simErr = err
+							b.FailNow()
+						}
+						last = r
+					}
+				}
+				fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", name)
+				res := testing.Benchmark(bench)
+				if simErr != nil {
+					fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, simErr)
+					return 1
+				}
+				rep.Benchmarks = append(rep.Benchmarks, record{
+					Name:         name,
+					NsPerOp:      res.NsPerOp(),
+					AllocsPerOp:  res.AllocsPerOp(),
+					BytesPerOp:   res.AllocedBytesPerOp(),
+					Iterations:   res.N,
+					AvgLatencyUs: last.AvgLatency,
+					Throughput:   last.Throughput,
+					GoMaxProcs:   rep.GoMaxProcs,
+					Shards:       shards,
+				})
 			}
-			fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", name)
-			res := testing.Benchmark(bench)
-			if simErr != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, simErr)
-				return 1
-			}
-			rep.Benchmarks = append(rep.Benchmarks, record{
-				Name:         name,
-				NsPerOp:      res.NsPerOp(),
-				AllocsPerOp:  res.AllocsPerOp(),
-				BytesPerOp:   res.AllocedBytesPerOp(),
-				Iterations:   res.N,
-				AvgLatencyUs: last.AvgLatency,
-				Throughput:   last.Throughput,
-			})
 		}
 	}
 	if ran == 0 {
@@ -153,7 +185,7 @@ func run() int {
 	}
 
 	if base := loadBaseline(*baseline, *out); base != nil {
-		printDeltas(os.Stderr, base, rep.Benchmarks)
+		printDeltas(os.Stderr, base, &rep)
 	}
 
 	exceeded := false
@@ -232,16 +264,44 @@ func loadBaseline(path, out string) *report {
 	return &rep
 }
 
+// effGoMaxProcs resolves a record's gomaxprocs, falling back to the
+// report-level value for baselines written before the per-entry field
+// existed.
+func effGoMaxProcs(r record, rep *report) int {
+	if r.GoMaxProcs > 0 {
+		return r.GoMaxProcs
+	}
+	return rep.GoMaxProcs
+}
+
 // printDeltas renders an old->new comparison table for every benchmark
-// present in both reports.
-func printDeltas(w *os.File, base *report, cur []record) {
+// present in both reports. Entries whose execution environment changed
+// — a different gomaxprocs, or a different engine shard count under
+// the same name — are flagged with a warning instead of being silently
+// compared: ns/op across different parallelism settings measures the
+// machine, not the change.
+func printDeltas(w *os.File, base, cur *report) {
 	old := map[string]record{}
 	for _, r := range base.Benchmarks {
 		old[r.Name] = r
 	}
+	for _, r := range cur.Benchmarks {
+		o, ok := old[r.Name]
+		if !ok {
+			continue
+		}
+		if bg, cg := effGoMaxProcs(o, base), effGoMaxProcs(r, cur); bg != cg {
+			fmt.Fprintf(w, "benchjson: WARNING: %s: baseline measured at gomaxprocs=%d, this run at gomaxprocs=%d; deltas compare machines, not changes\n",
+				r.Name, bg, cg)
+		}
+		if o.Shards != r.Shards {
+			fmt.Fprintf(w, "benchjson: WARNING: %s: baseline measured with shards=%d, this run with shards=%d; deltas compare configurations, not changes\n",
+				r.Name, o.Shards, r.Shards)
+		}
+	}
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\tns/op\tallocs/op\tbytes/op")
-	for _, r := range cur {
+	for _, r := range cur.Benchmarks {
 		o, ok := old[r.Name]
 		if !ok {
 			fmt.Fprintf(tw, "%s\t%d (new)\t%d (new)\t%d (new)\n", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)

@@ -41,6 +41,7 @@ func main() {
 	switching := flag.String("switching", "wormhole", "switching: wormhole, saf, vct")
 	misroute := flag.Int64("misroute", 0, "misroute patience in cycles (0 = relation as-is)")
 	delay := flag.Int64("delay", 0, "extra router decision delay in cycles")
+	shards := flag.Int("shards", 0, "engine allocation shards: split each cycle's allocation across this many goroutines (0 = serial; results identical)")
 	verbose := flag.Bool("v", false, "print percentiles and channel utilization")
 	record := flag.String("record", "", "record the workload to a trace file and exit (horizon = warmup+measure cycles)")
 	replay := flag.String("replay", "", "replay a recorded workload trace instead of generating traffic")
@@ -84,6 +85,7 @@ func main() {
 		Switching:     sw,
 		MisrouteAfter: *misroute,
 		RouterDelay:   *delay,
+		Shards:        *shards,
 	}
 	// Single-VC relations run through the plain algorithm path so the
 	// buffer layout matches the paper's model exactly.

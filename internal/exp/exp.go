@@ -34,7 +34,18 @@ type Options struct {
 	// algorithm lines and load points (0 means GOMAXPROCS). Results are
 	// bit-identical for any value: every simulation has its own seeded
 	// generator and lands in a preassigned slot.
+	//
+	// Workers and Shards share one concurrency budget: with Shards > 1
+	// each leaf simulation runs Shards goroutines of its own, so the
+	// effective worker count is capped at GOMAXPROCS / Shards (minimum
+	// one) — including explicit Workers values — keeping
+	// Workers × Shards from oversubscribing the machine.
 	Workers int
+	// Shards forwards sim.Config.Shards to every sweep simulation:
+	// the allocation phase of each cycle is split across that many
+	// worker goroutines inside the engine. 0 or 1 is serial. Results
+	// are bit-identical for any value.
+	Shards int
 	// MetricsDir, when set, attaches a metrics collector to every
 	// simulation and writes a per-figure summary dump
 	// (<dir>/<id>.metrics.json) next to each figure run. Attaching
@@ -57,6 +68,20 @@ type Options struct {
 }
 
 func (o Options) workers() int {
+	if o.Shards > 1 {
+		// Each leaf simulation runs o.Shards goroutines, so the sweep
+		// budget shrinks to keep Workers × Shards within GOMAXPROCS.
+		// Explicit Workers values are clamped too: the shard workers
+		// are not optional once Shards is set.
+		max := runtime.GOMAXPROCS(0) / o.Shards
+		if max < 1 {
+			max = 1
+		}
+		if o.Workers > 0 && o.Workers < max {
+			return o.Workers
+		}
+		return max
+	}
 	if o.Workers > 0 {
 		return o.Workers
 	}
@@ -224,6 +249,7 @@ func runSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Opt
 				MeasureCycles:     o.measure(),
 				Seed:              o.Seed + int64(load*1000),
 				DisableRouteTable: o.DisableRouteTables,
+				Shards:            o.Shards,
 			}
 			// One collector per simulation: collectors are not safe to
 			// share across concurrent runs, and attaching them never
@@ -365,12 +391,12 @@ func cacheKey(f FigureSpec, o Options) string {
 	// any worker count, so concurrency never splits the cache. The
 	// metrics parameters ARE present: cached sweeps run without
 	// collectors carry no summaries, so a metrics-enabled request must
-	// not reuse them (and vice versa). DisableRouteTables is present
-	// even though results are bit-identical either way, so the A/B
-	// determinism tests compare two genuine runs rather than one run
-	// against its own cache entry.
-	return fmt.Sprintf("%s/%d/%v/%v/%d/%d/%v/%d/%v", f.ID, o.Seed, o.Quick, o.Loads, o.Warmup, o.Measure,
-		o.metricsEnabled(), o.MetricsInterval, o.DisableRouteTables)
+	// not reuse them (and vice versa). DisableRouteTables and Shards
+	// are present even though results are bit-identical either way, so
+	// the A/B determinism tests compare two genuine runs rather than
+	// one run against its own cache entry.
+	return fmt.Sprintf("%s/%d/%v/%v/%d/%d/%v/%d/%v/%d", f.ID, o.Seed, o.Quick, o.Loads, o.Warmup, o.Measure,
+		o.metricsEnabled(), o.MetricsInterval, o.DisableRouteTables, o.Shards)
 }
 
 // RunFigure runs (or returns cached) sweeps for a figure spec. With

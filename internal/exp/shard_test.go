@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestWorkerShardBudget: Workers and engine shards share one
+// concurrency budget — the effective sweep worker count must shrink so
+// Workers × Shards never exceeds GOMAXPROCS (floored at one worker so
+// progress is always possible).
+func TestWorkerShardBudget(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	for _, tc := range []struct {
+		name            string
+		workers, shards int
+		want            int
+	}{
+		{"default-serial", 0, 0, 8},
+		{"explicit-serial", 3, 0, 3},
+		{"default-sharded", 0, 4, 2},
+		{"explicit-under-budget", 1, 4, 1},
+		{"explicit-over-budget-clamped", 8, 4, 2},
+		{"shards-exceed-procs", 0, 16, 1},
+		{"explicit-over-with-huge-shards", 6, 16, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o := Options{Workers: tc.workers, Shards: tc.shards}
+			got := o.workers()
+			if got != tc.want {
+				t.Errorf("Options{Workers: %d, Shards: %d}.workers() = %d, want %d (GOMAXPROCS 8)",
+					tc.workers, tc.shards, got, tc.want)
+			}
+			if tc.shards > 1 && got*tc.shards > 8 && got > 1 {
+				t.Errorf("budget violated: %d workers x %d shards > GOMAXPROCS 8", got, tc.shards)
+			}
+		})
+	}
+}
+
+// TestShardedFigureDeterminism: engine sharding must be invisible at
+// the figure level too. The same figure sweep run serially and with
+// sharded engines must agree byte for byte, both as raw Sweep values
+// and as rendered golden-figure output. The cache key includes the
+// shard count, so both runs genuinely simulate.
+func TestShardedFigureDeterminism(t *testing.T) {
+	f, ok := FigureByID("fig13")
+	if !ok {
+		t.Fatal("fig13 spec missing")
+	}
+	base := Options{Quick: true, Seed: 7, Warmup: 800, Measure: 2400}
+
+	serial := base
+	sharded := base
+	sharded.Shards = 3
+	if cacheKey(f, serial) == cacheKey(f, sharded) {
+		t.Fatal("cache key must distinguish the shard count")
+	}
+
+	sweepsSer, err := runFigure(f, serial, make(chan struct{}, serial.workers()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepsShd, err := runFigure(f, sharded, make(chan struct{}, sharded.workers()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sweepsSer, sweepsShd) {
+		t.Fatalf("sharded sweep results diverge from serial:\nserial: %+v\nsharded: %+v", sweepsSer, sweepsShd)
+	}
+	var bufSer, bufShd bytes.Buffer
+	WriteFigure(&bufSer, f, sweepsSer)
+	WriteFigure(&bufShd, f, sweepsShd)
+	if !bytes.Equal(bufSer.Bytes(), bufShd.Bytes()) {
+		t.Fatal("rendered figure output differs between shard counts")
+	}
+}

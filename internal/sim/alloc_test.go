@@ -19,11 +19,16 @@ import (
 // preallocated slices, incremented in place).
 func TestAllocateZeroAllocs(t *testing.T) {
 	for _, tc := range []struct {
-		name string
-		m    *metrics.Collector
+		name   string
+		m      *metrics.Collector
+		shards int
 	}{
-		{"metrics-disabled", nil},
-		{"metrics-enabled", metrics.New(metrics.Config{Interval: 100})},
+		{"metrics-disabled", nil, 0},
+		{"metrics-enabled", metrics.New(metrics.Config{Interval: 100}), 0},
+		// The sharded phase must stay allocation-free too: per-shard
+		// scratch and commit logs are reused, and the worker pool is
+		// persistent (no goroutine spawns per cycle).
+		{"metrics-enabled-sharded", metrics.New(metrics.Config{Interval: 100}), 3},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			topo := topology.NewMesh(8, 8)
@@ -35,12 +40,14 @@ func TestAllocateZeroAllocs(t *testing.T) {
 				MeasureCycles: 1,
 				Seed:          3,
 				Metrics:       tc.m,
+				Shards:        tc.shards,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
+			defer e.Close()
 			for i := 0; i < 2000; i++ {
-				e.step(nil)
+				e.step()
 				e.cycle++
 			}
 			if e.inFlight == 0 {
@@ -68,11 +75,16 @@ func TestAllocateZeroAllocs(t *testing.T) {
 // small epsilon per batch instead of demanding exactly zero.
 func TestWholeRunZeroAllocs(t *testing.T) {
 	for _, tc := range []struct {
-		name string
-		m    *metrics.Collector
+		name   string
+		m      *metrics.Collector
+		shards int
 	}{
-		{"metrics-disabled", nil},
-		{"metrics-enabled", metrics.New(metrics.Config{Interval: 100})},
+		{"metrics-disabled", nil, 0},
+		{"metrics-enabled", metrics.New(metrics.Config{Interval: 100}), 0},
+		// Sharded steady state must hold the same bound: the worker pool
+		// parks between cycles instead of respawning, and the deferred
+		// commit logs grow to their high-water mark then stop.
+		{"metrics-enabled-sharded", metrics.New(metrics.Config{Interval: 100}), 3},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			topo := topology.NewMesh(8, 8)
@@ -84,10 +96,12 @@ func TestWholeRunZeroAllocs(t *testing.T) {
 				MeasureCycles: 1 << 30,
 				Seed:          3,
 				Metrics:       tc.m,
+				Shards:        tc.shards,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
+			defer e.Close()
 			// Mirror the run loop's measurement-window switch, then warm
 			// until the histogram buckets, ring high-water marks and
 			// freelist cover the steady state.
@@ -96,7 +110,7 @@ func TestWholeRunZeroAllocs(t *testing.T) {
 			e.stats.backlogStartFlits = e.backlogFlits()
 			e.stats.backlogStartValid = true
 			for i := 0; i < 3000; i++ {
-				e.step(nil)
+				e.step()
 				e.cycle++
 			}
 			if e.inFlight == 0 {
@@ -105,7 +119,7 @@ func TestWholeRunZeroAllocs(t *testing.T) {
 			const batch = 50
 			avg := testing.AllocsPerRun(20, func() {
 				for i := 0; i < batch; i++ {
-					e.step(nil)
+					e.step()
 					e.cycle++
 				}
 			})

@@ -184,6 +184,20 @@ type Config struct {
 	// so a packet can never revisit a channel (Section 2).
 	MisrouteAfter int64
 
+	// Shards splits the allocation phase of every cycle across that many
+	// worker goroutines (routers statically partitioned into contiguous
+	// shards). 0 or 1 runs serially, preserving today's single-threaded
+	// behavior exactly. Results are bit-identical for any value: workers
+	// only compute proposals into per-shard scratch, and a serial commit
+	// applies grants, worklist updates and observer events in ascending
+	// router order — the serial engine's order. Configurations whose
+	// allocation consumes the shared random stream in router-visit order
+	// (Input == RandomInput or Policy == RandomPolicy) silently fall
+	// back to serial execution, since any partition of those draws would
+	// change the stream. See DESIGN.md, "Deterministic sharded
+	// allocation".
+	Shards int
+
 	// StrictAdvance disables chained advance: by default (false) a
 	// worm's trailing flits may move into buffers freed in the same
 	// cycle — the paper's synchronized-worm behaviour — while in strict
@@ -265,6 +279,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.DeadlockThreshold == 0 {
 		cfg.DeadlockThreshold = 10000
+	}
+	if cfg.Shards < 0 {
+		return cfg, fmt.Errorf("sim: negative shard count %d", cfg.Shards)
 	}
 	if cfg.Script == nil {
 		if cfg.Pattern == nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/routing"
@@ -157,13 +158,38 @@ type Engine struct {
 	dirtyLinks []int32
 	dirtyInj   []int32
 
-	// Allocation-phase scratch, reused every cycle so the steady-state
-	// hot path performs no heap allocations.
-	waiting     []int32                    // inputs with an eligible header, len vport
-	rawCands    []routing.VirtualDirection // CandidatesVC result buffer
-	freeCands   []routing.Candidate        // candidates whose output is free
-	profCands   []routing.Candidate        // distance-reducing subset
-	seedScratch []int32                    // move seeding order buffer (vcs > 1)
+	// shards holds the allocation-phase scratch, one entry per shard and
+	// reused every cycle so the steady-state hot path performs no heap
+	// allocations. Serial engines (nshards == 1) use shards[0] with
+	// deferred commits disabled; sharded engines partition routers into
+	// contiguous ranges [shardLo[s], shardLo[s+1]) and run one worker
+	// per shard (see shard.go).
+	shards      []allocState
+	oneShard    [1]allocState // backing for the serial case: no extra slice allocation per Run
+	nshards     int
+	shardLo     []int32
+	seedScratch []int32 // move seeding order buffer (vcs > 1)
+
+	// lenStart snapshots each buffer's length at the start of the move
+	// phase (strict-advance mode only, nil otherwise). Sharded engines
+	// fill it in the parallel pre-pass — buffer lengths cannot change
+	// between generation and movement — serial engines at the top of
+	// move.
+	lenStart []int32
+	// readyBits memoizes readyToForward for store-and-forward runs under
+	// sharding: readyBits[in] == true guarantees the front packet's tail
+	// has arrived at input in. Every queue mutation clears the bit, so a
+	// set bit is always current; a clear bit falls back to the scan. The
+	// sharded pre-pass refreshes the bits for flowing inputs in parallel.
+	readyBits []bool
+
+	// Worker pool for sharded allocation: one goroutine per shard above
+	// zero (shard zero runs on the stepping goroutine), started lazily at
+	// the first sharded cycle and parked on poolStart between cycles.
+	// Close releases them; see shard.go.
+	poolOn    bool
+	poolStart []chan int32
+	poolWG    sync.WaitGroup
 
 	// linkFlits counts flits carried per physical link during the
 	// measurement window, for utilization reporting.
@@ -236,12 +262,9 @@ func New(cfg Config) (*Engine, error) {
 		flowing:        newBitset(n * vport),
 		allocWork:      newBitset(n),
 		lastFaultEpoch: int32(t.FaultEpoch()),
-		waiting:        make([]int32, vport),
-		rawCands:       make([]routing.VirtualDirection, 0, ndim2*vcs),
-		freeCands:      make([]routing.Candidate, 0, ndim2*vcs),
-		profCands:      make([]routing.Candidate, 0, ndim2*vcs),
 		script:         c.Script,
 	}
+	e.initShards(n, ndim2)
 	// Precompute the packet-length distribution's cumulative weights so
 	// drawLength no longer sums the weight vector per draw.
 	e.lenCum = make([]float64, len(c.LengthWeights))
@@ -438,8 +461,13 @@ func (e *Engine) allocate() {
 			e.table = routing.TableFor(e.alg)
 		}
 	}
+	if e.nshards > 1 {
+		e.allocateSharded(epoch)
+		return
+	}
+	st := &e.shards[0]
 	e.allocWork.forEach(func(v int32) {
-		if !e.allocateRouter(int(v), epoch) {
+		if !e.allocateRouter(int(v), epoch, st) {
 			e.allocWork.clear(v)
 		}
 	})
@@ -449,8 +477,12 @@ func (e *Engine) allocate() {
 // the router must stay on the allocation worklist (a pending header
 // whose eligibility or patience is time-driven, or — under the
 // random-input policy — any unallocated header, so the arbitration
-// random stream matches a full rescan exactly).
-func (e *Engine) allocateRouter(v int, epoch int32) bool {
+// random stream matches a full rescan exactly). st is the calling
+// shard's scratch; allocation touches only router-local state (busyBy
+// and inbufs entries of v's own ports, v's metrics counters), and
+// anything shared — worklist bitsets, observer callbacks — goes through
+// st, which defers it to the serial commit when the engine is sharded.
+func (e *Engine) allocateRouter(v int, epoch int32, st *allocState) bool {
 	base := v * e.vport
 	nw := 0
 	keep := false
@@ -460,7 +492,7 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 			continue
 		}
 		if e.cycle-b.headArrival > e.cfg.RouterDelay {
-			e.waiting[nw] = int32(base + p)
+			st.waiting[nw] = int32(base + p)
 			nw++
 		} else {
 			keep = true // header present, router delay not yet expired
@@ -469,7 +501,7 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 	if nw == 0 {
 		return keep
 	}
-	w := e.waiting[:nw]
+	w := st.waiting[:nw]
 	switch e.cfg.Input {
 	case LocalFCFS:
 		// Stable insertion sort by arrival time: ties keep ascending
@@ -499,13 +531,13 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 			if e.busyBy[out] < 0 {
 				e.busyBy[out] = in
 				b.allocOut = out
-				e.flowing.set(in)
+				st.setFlowing(e, in)
 				if e.m != nil {
 					e.m.Grants[v]++
 					e.m.WaitCycles[v] += e.cycle - b.headArrival
 				}
 				if e.cfg.Observer != nil {
-					e.cfg.Observer.Allocate(e.cycle, topology.NodeID(v), topology.Direction{}, 0, true)
+					st.observeAllocate(e, topology.NodeID(v), topology.Direction{}, 0, true)
 				}
 			} else {
 				blocked++
@@ -516,12 +548,12 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 			continue
 		}
 		if b.candPkt != pkt.id || b.candEpoch != epoch {
-			e.fillCandCache(v, b, pkt, epoch)
+			e.fillCandCache(v, b, pkt, epoch, st)
 		}
 		// Keep only candidates whose virtual output channel is free;
 		// existence, virtual-channel validity and fault state were
 		// filtered into the cache.
-		free := e.freeCands[:0]
+		free := st.freeCands[:0]
 		for i := range b.cands {
 			if e.busyBy[b.cands[i].Out] < 0 {
 				free = append(free, b.cands[i])
@@ -539,7 +571,7 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 		// header has waited long enough.
 		pick := free
 		if e.cfg.MisrouteAfter > 0 {
-			prof := e.profCands[:0]
+			prof := st.profCands[:0]
 			for i := range free {
 				if free[i].Prof {
 					prof = append(prof, free[i])
@@ -563,7 +595,7 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 		}
 		e.busyBy[c.Out] = in
 		b.allocOut = c.Out
-		e.flowing.set(in)
+		st.setFlowing(e, in)
 		if e.m != nil {
 			e.m.Grants[v]++
 			e.m.WaitCycles[v] += e.cycle - b.headArrival
@@ -575,7 +607,7 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 			}
 		}
 		if e.cfg.Observer != nil {
-			e.cfg.Observer.Allocate(e.cycle, topology.NodeID(v), c.Direction(), int(c.VC), false)
+			st.observeAllocate(e, topology.NodeID(v), c.Direction(), int(c.VC), false)
 		}
 	}
 	if blocked > 0 && e.cfg.Input == RandomInput {
@@ -595,7 +627,7 @@ func (e *Engine) allocateRouter(v int, epoch int32) bool {
 // directly into the buffer-owned fallback storage. Either way the list
 // keeps every candidate that exists, has a valid virtual channel, and
 // is not faulty; per-cycle allocation then only checks output busyness.
-func (e *Engine) fillCandCache(v int, b *inbuf, pkt *packet, epoch int32) {
+func (e *Engine) fillCandCache(v int, b *inbuf, pkt *packet, epoch int32, st *allocState) {
 	injected := int(b.port) == e.vport-1
 	cur := topology.NodeID(v)
 	if e.table != nil && !(injected && pkt.firstDir != nil) {
@@ -613,8 +645,8 @@ func (e *Engine) fillCandCache(v int, b *inbuf, pkt *packet, epoch int32) {
 			VC:  int(b.port) % e.vcs,
 		}
 	}
-	raw := e.alg.CandidatesVC(cur, pkt.dst, inp, e.rawCands[:0])
-	e.rawCands = raw[:0]
+	raw := e.alg.CandidatesVC(cur, pkt.dst, inp, st.rawCands[:0])
+	st.rawCands = raw[:0]
 	if inp.Injected && pkt.firstDir != nil {
 		// Scripted first hop: honor it when offered.
 		kept := raw[:0]
@@ -732,10 +764,13 @@ func (e *Engine) seedMoveWork() {
 // freeing a buffer slot immediately lets the upstream flit advance into
 // it (the worm moves as a synchronized train); in strict mode only space
 // available at the start of the cycle counts.
-func (e *Engine) move(lenStart []int32) {
-	if e.cfg.StrictAdvance {
+func (e *Engine) move() {
+	if e.cfg.StrictAdvance && e.nshards <= 1 {
+		// Sharded engines fill the snapshot in the parallel pre-pass
+		// (buffer lengths cannot change between generation and movement);
+		// serial engines do it here.
 		for i := range e.inbufs {
-			lenStart[i] = int32(len(e.inbufs[i].q))
+			e.lenStart[i] = int32(len(e.inbufs[i].q))
 		}
 	}
 	// inWork is all-false here: the previous drain popped (and cleared)
@@ -745,21 +780,21 @@ func (e *Engine) move(lenStart []int32) {
 	// Source-queue injections are attempted for every nonempty queue.
 	for v := range e.queues {
 		if e.queues[v].len() > 0 {
-			e.tryInject(topology.NodeID(v), lenStart)
+			e.tryInject(topology.NodeID(v))
 		}
 	}
 	for len(e.work) > 0 {
 		in := e.work[len(e.work)-1]
 		e.work = e.work[:len(e.work)-1]
 		e.inWork[in] = false
-		e.moveOne(in, lenStart)
+		e.moveOne(in)
 	}
 }
 
 // tryInject moves the next flit of the source queue's head packet into
 // the injection buffer, modeling the processor-to-router channel
 // (bandwidth one flit per cycle).
-func (e *Engine) tryInject(v topology.NodeID, lenStart []int32) {
+func (e *Engine) tryInject(v topology.NodeID) {
 	q := &e.queues[v]
 	if q.len() == 0 {
 		return
@@ -769,7 +804,7 @@ func (e *Engine) tryInject(v topology.NodeID, lenStart []int32) {
 		return
 	}
 	b := &e.inbufs[in]
-	if !e.hasSpace(in, b, lenStart) {
+	if !e.hasSpace(in, b) {
 		return
 	}
 	p := q.front()
@@ -801,9 +836,9 @@ func (e *Engine) tryInject(v topology.NodeID, lenStart []int32) {
 	}
 }
 
-func (e *Engine) hasSpace(in int32, b *inbuf, lenStart []int32) bool {
+func (e *Engine) hasSpace(in int32, b *inbuf) bool {
 	if e.cfg.StrictAdvance {
-		return int(lenStart[in]) < e.depth && len(b.q) < e.depth
+		return int(e.lenStart[in]) < e.depth && len(b.q) < e.depth
 	}
 	return len(b.q) < e.depth
 }
@@ -812,11 +847,22 @@ func (e *Engine) hasSpace(in int32, b *inbuf, lenStart []int32) bool {
 // the front flit of a network input buffer: store-and-forward holds a
 // packet until its tail flit has arrived; wormhole and virtual
 // cut-through forward immediately. Injection buffers are exempt (the
-// source queue is the source node's packet store).
-func (e *Engine) readyToForward(b *inbuf) bool {
+// source queue is the source node's packet store). Sharded engines
+// consult the readyBits memo first: a set bit was computed by the
+// pre-pass against the exact same queue contents (every mutation
+// clears it), skipping the tail scan.
+func (e *Engine) readyToForward(in int32, b *inbuf) bool {
 	if !e.cfg.holdsWholePacket() || int(b.port) == e.vport-1 {
 		return true
 	}
+	if e.readyBits != nil && e.readyBits[in] {
+		return true
+	}
+	return e.tailAtFront(b)
+}
+
+// tailAtFront scans a nonempty buffer for the front packet's tail flit.
+func (e *Engine) tailAtFront(b *inbuf) bool {
 	front := b.q[0].p
 	for i := len(b.q) - 1; i >= 0; i-- {
 		if b.q[i].p == front {
@@ -827,7 +873,7 @@ func (e *Engine) readyToForward(b *inbuf) bool {
 }
 
 // moveOne attempts to advance the front flit of input buffer in.
-func (e *Engine) moveOne(in int32, lenStart []int32) {
+func (e *Engine) moveOne(in int32) {
 	b := &e.inbufs[in]
 	if len(b.q) == 0 || b.allocOut < 0 {
 		return
@@ -837,7 +883,7 @@ func (e *Engine) moveOne(in int32, lenStart []int32) {
 	if e.linkUsed[phys] {
 		return
 	}
-	if !e.readyToForward(b) {
+	if !e.readyToForward(in, b) {
 		return
 	}
 	f := b.q[0]
@@ -871,7 +917,7 @@ func (e *Engine) moveOne(in int32, lenStart []int32) {
 		return
 	}
 	db := &e.inbufs[dest]
-	if !e.hasSpace(dest, db, lenStart) {
+	if !e.hasSpace(dest, db) {
 		return
 	}
 	e.linkUsed[phys] = true
@@ -894,6 +940,9 @@ func (e *Engine) moveOne(in int32, lenStart []int32) {
 	}
 	e.popFront(in, b)
 	db.q = append(db.q, f)
+	if e.readyBits != nil {
+		e.readyBits[dest] = false
+	}
 	if db.allocOut >= 0 {
 		e.flowing.set(dest)
 	}
@@ -918,6 +967,9 @@ func (e *Engine) moveOne(in int32, lenStart []int32) {
 func (e *Engine) popFront(in int32, b *inbuf) {
 	copy(b.q, b.q[1:])
 	b.q = b.q[:len(b.q)-1]
+	if e.readyBits != nil {
+		e.readyBits[in] = false
+	}
 	if len(b.q) == 0 {
 		e.flowing.clear(in)
 	}
@@ -942,7 +994,7 @@ func (e *Engine) cascade(in int32, b *inbuf) {
 	if int(b.port) == e.vport-1 {
 		// Injection buffer freed: the source queue may inject.
 		v := topology.NodeID(int(in) / e.vport)
-		e.tryInject(v, nil)
+		e.tryInject(v)
 		return
 	}
 	up := e.upOut[in]

@@ -134,7 +134,7 @@ func TestObserverEventsUnderFault(t *testing.T) {
 		if e.cycle == faultCycle {
 			topo.DisableChannel(broken)
 		}
-		e.step(nil)
+		e.step()
 		e.cycle++
 		if e.cycle > 50000 {
 			t.Fatal("run did not drain")

@@ -137,7 +137,7 @@ func TestPacketRecyclingProperty(t *testing.T) {
 					if e.cycle == faultCycle {
 						topo.DisableChannel(broken)
 					}
-					e.step(nil)
+					e.step()
 					e.cycle++
 					live := livePackets(t, e)
 					checkRecycling(t, e, live, released)

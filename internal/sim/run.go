@@ -77,8 +77,7 @@ func (r Result) String() string {
 // step advances the simulation by one cycle's phases: message
 // generation, output allocation, link reset, and flit movement. The
 // caller owns the cycle counter (it increments e.cycle afterwards).
-// lenStart is scratch for strict-advance mode, nil otherwise.
-func (e *Engine) step(lenStart []int32) {
+func (e *Engine) step() {
 	e.generate()
 	e.allocate()
 	// Reset only the link and injection usage flags set last cycle.
@@ -90,7 +89,7 @@ func (e *Engine) step(lenStart []int32) {
 		e.injUsed[i] = false
 	}
 	e.dirtyInj = e.dirtyInj[:0]
-	e.move(lenStart)
+	e.move()
 	if e.m != nil {
 		e.m.EndCycle()
 		// The backlog scan is deferred behind SampleDue so it runs only
@@ -112,6 +111,7 @@ func Run(cfg Config) (Result, error) {
 }
 
 func (e *Engine) run() Result {
+	defer e.Close() // park the shard workers, if any were started
 	res := Result{
 		Algorithm:   e.alg.Name(),
 		OfferedLoad: e.cfg.OfferedLoad,
@@ -120,11 +120,6 @@ func (e *Engine) run() Result {
 		res.Pattern = e.cfg.Pattern.Name()
 	} else {
 		res.Pattern = "scripted"
-	}
-
-	var lenStart []int32
-	if e.cfg.StrictAdvance {
-		lenStart = make([]int32, len(e.inbufs))
 	}
 
 	end := e.cfg.WarmupCycles + e.cfg.MeasureCycles
@@ -151,7 +146,7 @@ func (e *Engine) run() Result {
 			}
 		}
 
-		e.step(lenStart)
+		e.step()
 
 		if e.inFlight > 0 && e.cycle-e.lastMove >= e.cfg.DeadlockThreshold {
 			res.Deadlocked = true

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// This file implements the deterministic sharded allocation phase:
+// Config.Shards > 1 partitions the routers into contiguous shards and
+// runs allocateRouter for each shard on its own worker goroutine.
+// Allocation is router-local — a router only ever grants its own
+// outputs and touches its own input buffers and metrics counters — so
+// the only cross-shard state is the worklist bitsets (shared 64-bit
+// words span shard boundaries), the observer callback order, and the
+// shared random stream. The first two are deferred into per-shard logs
+// and committed serially in ascending shard order, which is exactly
+// the serial engine's ascending-router order, so results are
+// bit-identical; configurations that consume the random stream during
+// allocation (RandomInput, RandomPolicy) fall back to serial execution
+// (see initShards). DESIGN.md, "Deterministic sharded allocation",
+// derives the invariants.
+
+// allocState is one shard's allocation scratch: the reusable buffers
+// allocateRouter needs plus, when deferred commits are on, the logs the
+// serial commit replays. A serial engine owns a single allocState with
+// deferred == false, in which case setFlowing and observeAllocate
+// apply immediately and the logs stay empty.
+type allocState struct {
+	deferred bool
+
+	// Per-router scratch, reused across routers and cycles.
+	waiting   []int32                    // inputs with an eligible header, len vport
+	rawCands  []routing.VirtualDirection // CandidatesVC result buffer
+	freeCands []routing.Candidate        // candidates whose output is free
+	profCands []routing.Candidate        // distance-reducing subset
+
+	// Deferred-commit logs, truncated each cycle and grown to their
+	// high-water mark, so steady state appends without allocating.
+	flowSets     []int32      // inputs to mark flowing
+	clearRouters []int32      // routers to drop from the allocation worklist
+	events       []allocEvent // observer Allocate calls, in grant order
+}
+
+// allocEvent is one deferred Observer.Allocate call.
+type allocEvent struct {
+	at    topology.NodeID
+	dir   topology.Direction
+	vc    int32
+	eject bool
+}
+
+// setFlowing marks input in as flowing: immediately when serial,
+// deferred to the commit when sharded (the bitset's words are shared
+// across shard boundaries).
+func (st *allocState) setFlowing(e *Engine, in int32) {
+	if st.deferred {
+		st.flowSets = append(st.flowSets, in)
+		return
+	}
+	e.flowing.set(in)
+}
+
+// observeAllocate reports a grant to the configured observer:
+// immediately when serial, deferred when sharded so callbacks arrive in
+// the serial engine's ascending-router order. Only called when
+// e.cfg.Observer != nil.
+func (st *allocState) observeAllocate(e *Engine, at topology.NodeID, dir topology.Direction, vc int, eject bool) {
+	if st.deferred {
+		st.events = append(st.events, allocEvent{at: at, dir: dir, vc: int32(vc), eject: eject})
+		return
+	}
+	e.cfg.Observer.Allocate(e.cycle, at, dir, vc, eject)
+}
+
+// initShards resolves the configured shard count and builds the
+// per-shard scratch. The effective count is clamped to the router
+// count, and configurations whose allocation consumes the shared
+// random stream per visited router (RandomInput arbitration,
+// RandomPolicy output selection) force serial execution: any partition
+// of those draws would reorder the stream and change results.
+func (e *Engine) initShards(n, ndim2 int) {
+	ns := e.cfg.Shards
+	if ns > n {
+		ns = n
+	}
+	if ns < 1 || e.cfg.Input == RandomInput || e.cfg.Policy == RandomPolicy {
+		ns = 1
+	}
+	e.nshards = ns
+	if ns == 1 {
+		e.shards = e.oneShard[:]
+	} else {
+		e.shards = make([]allocState, ns)
+	}
+	for s := range e.shards {
+		e.shards[s] = allocState{
+			deferred:  ns > 1,
+			waiting:   make([]int32, e.vport),
+			rawCands:  make([]routing.VirtualDirection, 0, ndim2*e.vcs),
+			freeCands: make([]routing.Candidate, 0, ndim2*e.vcs),
+			profCands: make([]routing.Candidate, 0, ndim2*e.vcs),
+		}
+	}
+	if e.cfg.StrictAdvance {
+		e.lenStart = make([]int32, n*e.vport)
+	}
+	if ns > 1 {
+		e.shardLo = make([]int32, ns+1)
+		for s := 0; s <= ns; s++ {
+			e.shardLo[s] = int32(n * s / ns)
+		}
+		if e.cfg.holdsWholePacket() {
+			e.readyBits = make([]bool, n*e.vport)
+		}
+	}
+}
+
+// allocateSharded runs one allocation phase across the worker pool:
+// propose in parallel, commit serially.
+func (e *Engine) allocateSharded(epoch int32) {
+	if !e.poolOn {
+		e.startPool()
+	}
+	e.poolWG.Add(e.nshards - 1)
+	for s := 1; s < e.nshards; s++ {
+		e.poolStart[s] <- epoch
+	}
+	e.runShard(0, epoch)
+	e.poolWG.Wait()
+	// Serial commit. Ascending shard order is ascending router order
+	// (shards are contiguous), so worklist updates and observer events
+	// replay exactly as the serial engine would have produced them.
+	for s := range e.shards {
+		st := &e.shards[s]
+		for _, in := range st.flowSets {
+			e.flowing.set(in)
+		}
+		for _, v := range st.clearRouters {
+			e.allocWork.clear(v)
+		}
+	}
+	if obs := e.cfg.Observer; obs != nil {
+		for s := range e.shards {
+			for i := range e.shards[s].events {
+				ev := &e.shards[s].events[i]
+				obs.Allocate(e.cycle, ev.at, ev.dir, int(ev.vc), ev.eject)
+			}
+		}
+	}
+}
+
+// runShard proposes grants for every worklisted router in shard s, then
+// runs the shard's slice of the move pre-pass: the strict-advance
+// buffer-length snapshot and the store-and-forward readiness memo.
+// Both are exact — no queue changes between generation and movement —
+// and touch only the shard's own index range, so the pre-pass rides
+// the same barrier as allocation for free.
+func (e *Engine) runShard(s int, epoch int32) {
+	st := &e.shards[s]
+	st.flowSets = st.flowSets[:0]
+	st.clearRouters = st.clearRouters[:0]
+	st.events = st.events[:0]
+	lo, hi := e.shardLo[s], e.shardLo[s+1]
+	e.allocWork.forEachIn(lo, hi, func(v int32) {
+		if !e.allocateRouter(int(v), epoch, st) {
+			st.clearRouters = append(st.clearRouters, v)
+		}
+	})
+	inLo, inHi := int32(int(lo)*e.vport), int32(int(hi)*e.vport)
+	if e.cfg.StrictAdvance {
+		for i := inLo; i < inHi; i++ {
+			e.lenStart[i] = int32(len(e.inbufs[i].q))
+		}
+	}
+	if e.readyBits != nil {
+		// Refresh the memo for inputs that were already flowing; inputs
+		// granted this cycle keep a cleared bit and fall back to the
+		// scan (sound either way — see readyToForward).
+		e.flowing.forEachIn(inLo, inHi, func(in int32) {
+			b := &e.inbufs[in]
+			if int(b.port) != e.vport-1 && len(b.q) > 0 {
+				e.readyBits[in] = e.tailAtFront(b)
+			}
+		})
+	}
+}
+
+// startPool launches the worker goroutines for shards 1..nshards-1
+// (shard zero runs on the stepping goroutine). Each worker parks on
+// its start channel between cycles; the channel send publishes the
+// fault epoch and everything the stepping goroutine wrote before it.
+func (e *Engine) startPool() {
+	e.poolStart = make([]chan int32, e.nshards)
+	for s := 1; s < e.nshards; s++ {
+		ch := make(chan int32, 1)
+		e.poolStart[s] = ch
+		go func(s int, ch chan int32) {
+			for epoch := range ch {
+				e.runShard(s, epoch)
+				e.poolWG.Done()
+			}
+		}(s, ch)
+	}
+	e.poolOn = true
+}
+
+// Close releases the shard worker goroutines. It is a no-op for serial
+// engines and engines that never stepped; Run calls it on exit. Tests
+// that drive a sharded engine through step directly should defer it.
+// The engine remains usable after Close — the next sharded cycle
+// restarts the pool.
+func (e *Engine) Close() {
+	if !e.poolOn {
+		return
+	}
+	for s := 1; s < e.nshards; s++ {
+		close(e.poolStart[s])
+	}
+	e.poolStart = nil
+	e.poolOn = false
+}

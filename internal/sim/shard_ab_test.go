@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"turnmodel/internal/metrics"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+// shardCounts is the A/B matrix: serial, an even split, and a count
+// that does not divide the router grids used below, so the contiguous
+// partition is uneven and a shard boundary falls mid-word in the
+// worklist bitsets.
+var shardCounts = []int{0, 2, 5}
+
+// runShardAB runs the same configuration at every shard count and
+// asserts bit-identical Results, delivery event streams and metrics
+// manifests against the serial run.
+func runShardAB(t *testing.T, mk func() Config) {
+	t.Helper()
+	type outcome struct {
+		events   []deliveryEvent
+		res      Result
+		manifest []byte
+	}
+	var base outcome
+	for i, shards := range shardCounts {
+		cfg := mk()
+		cfg.Shards = shards
+		var o outcome
+		cfg.Observer = recordDeliveries(&o.events)
+		m := metrics.New(metrics.Config{Interval: 100})
+		cfg.Metrics = m
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.res = res
+		var buf bytes.Buffer
+		if err := m.WriteManifest(&buf); err != nil {
+			t.Fatal(err)
+		}
+		o.manifest = buf.Bytes()
+		if i == 0 {
+			if len(o.events) == 0 {
+				t.Fatal("no deliveries; test would be vacuous")
+			}
+			base = o
+			continue
+		}
+		if o.res != base.res {
+			t.Errorf("shards=%d: results differ:\n serial: %+v\n sharded: %+v", shards, base.res, o.res)
+		}
+		if len(o.events) != len(base.events) {
+			t.Fatalf("shards=%d: delivery counts differ: serial %d, sharded %d", shards, len(base.events), len(o.events))
+		}
+		for j := range o.events {
+			if o.events[j] != base.events[j] {
+				t.Fatalf("shards=%d: delivery %d differs: serial %+v, sharded %+v", shards, j, base.events[j], o.events[j])
+			}
+		}
+		if !bytes.Equal(o.manifest, base.manifest) {
+			t.Errorf("shards=%d: metrics manifests differ", shards)
+		}
+	}
+}
+
+// TestShardABDeterminism: sharded allocation is an execution strategy,
+// not a behavior change — every configuration class the propose/commit
+// split distinguishes (plain wormhole, store-and-forward with the
+// readiness memo, strict advance with the snapshot pre-pass, multi-VC
+// dateline routing, direct candidate evaluation under concurrency)
+// produces results bit-identical to the serial engine, including full
+// metrics dumps.
+func TestShardABDeterminism(t *testing.T) {
+	t.Run("stochastic-mesh", func(t *testing.T) {
+		runShardAB(t, func() Config {
+			topo := topology.NewMesh(8, 8)
+			return Config{
+				Algorithm:     routing.NewWestFirst(topo),
+				Pattern:       traffic.NewUniform(topo),
+				OfferedLoad:   3.0,
+				WarmupCycles:  500,
+				MeasureCycles: 1500,
+				Seed:          11,
+			}
+		})
+	})
+	// Store-and-forward exercises the sharded readyToForward memo, and
+	// strict advance the parallel buffer-length snapshot.
+	t.Run("store-and-forward-strict", func(t *testing.T) {
+		runShardAB(t, func() Config {
+			topo := topology.NewMesh(6, 6)
+			return Config{
+				Algorithm:     routing.NewNegativeFirst(topo),
+				Pattern:       traffic.NewMeshTranspose(topo),
+				OfferedLoad:   2.0,
+				Lengths:       []int{6, 12},
+				Switching:     StoreAndForward,
+				StrictAdvance: true,
+				WarmupCycles:  500,
+				MeasureCycles: 1500,
+				Seed:          5,
+			}
+		})
+	})
+	t.Run("dateline-torus-vc", func(t *testing.T) {
+		runShardAB(t, func() Config {
+			topo := topology.NewTorus(6, 2)
+			return Config{
+				VCAlgorithm:   routing.NewDatelineDOR(topo),
+				Pattern:       traffic.NewUniform(topo),
+				OfferedLoad:   3.0,
+				WarmupCycles:  500,
+				MeasureCycles: 1500,
+				Seed:          9,
+			}
+		})
+	})
+	// Without compiled route tables the workers evaluate the routing
+	// relation directly and concurrently; misroute patience reads the
+	// profitability bits those evaluations compute.
+	t.Run("direct-eval-misroute", func(t *testing.T) {
+		runShardAB(t, func() Config {
+			topo := topology.NewMesh(6, 6)
+			return Config{
+				Algorithm:         routing.NewFullyAdaptive(topo),
+				Pattern:           traffic.NewMeshTranspose(topo),
+				OfferedLoad:       2.5,
+				MisrouteAfter:     3,
+				DisableRouteTable: true,
+				WarmupCycles:      500,
+				MeasureCycles:     1500,
+				Seed:              7,
+			}
+		})
+	})
+}
+
+// TestShardSerialFallback: configurations whose allocation consumes the
+// shared random stream per visited router cannot shard without
+// reordering the stream, so the engine silently runs them serially —
+// and still produces identical results when Shards is set.
+func TestShardSerialFallback(t *testing.T) {
+	topo := topology.NewMesh(6, 6)
+	mkRandom := func() Config {
+		return Config{
+			Algorithm:     routing.NewFullyAdaptive(topo),
+			Pattern:       traffic.NewUniform(topo),
+			OfferedLoad:   2.0,
+			Policy:        RandomPolicy,
+			WarmupCycles:  400,
+			MeasureCycles: 1200,
+			Seed:          3,
+		}
+	}
+	cfg := mkRandom()
+	cfg.Shards = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.nshards != 1 {
+		t.Fatalf("RandomPolicy with Shards=4 got %d shards, want serial fallback", e.nshards)
+	}
+	cfg2 := mkRandom()
+	cfg2.Input = RandomInput
+	cfg2.Policy = LowestDimension
+	cfg2.Shards = 4
+	e2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.nshards != 1 {
+		t.Fatalf("RandomInput with Shards=4 got %d shards, want serial fallback", e2.nshards)
+	}
+	serial, err := Run(mkRandom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := mkRandom()
+	sharded.Shards = 4
+	got, err := Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != serial {
+		t.Errorf("fallback results differ:\n serial: %+v\n shards=4: %+v", serial, got)
+	}
+}
+
+// TestShardPartition: the effective shard count is clamped to the
+// router count and the contiguous partition covers every router, with
+// uneven remainders spread across shards.
+func TestShardPartition(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	e, err := New(Config{
+		Algorithm:     routing.NewWestFirst(topo),
+		Pattern:       traffic.NewUniform(topo),
+		OfferedLoad:   1.0,
+		WarmupCycles:  1,
+		MeasureCycles: 1,
+		Shards:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.nshards != 5 {
+		t.Fatalf("got %d shards, want 5", e.nshards)
+	}
+	if got, want := e.shardLo[0], int32(0); got != want {
+		t.Errorf("partition starts at %d, want 0", got)
+	}
+	if got, want := e.shardLo[5], int32(64); got != want {
+		t.Errorf("partition ends at %d, want 64", got)
+	}
+	for s := 0; s < 5; s++ {
+		size := e.shardLo[s+1] - e.shardLo[s]
+		if size < 12 || size > 13 {
+			t.Errorf("shard %d has %d routers, want 12 or 13", s, size)
+		}
+	}
+	// Shard counts beyond the router count clamp.
+	big, err := New(Config{
+		Algorithm:     routing.NewWestFirst(topology.NewMesh(2, 2)),
+		Pattern:       traffic.NewUniform(topology.NewMesh(2, 2)),
+		OfferedLoad:   1.0,
+		WarmupCycles:  1,
+		MeasureCycles: 1,
+		Shards:        64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer big.Close()
+	if big.nshards != 4 {
+		t.Fatalf("2x2 mesh with Shards=64 got %d shards, want 4", big.nshards)
+	}
+}
+
+// TestShardABDeterminismUnderFault: a channel failure mid-run triggers
+// the fault-epoch rescan and route-table recompile inside the sharded
+// allocate; the propose/commit split must still agree with the serial
+// engine cycle for cycle, before, during and after the fault window.
+func TestShardABDeterminismUnderFault(t *testing.T) {
+	const (
+		cycles       = 2000
+		faultCycle   = 300
+		restoreCycle = 1100
+	)
+	var events [][]deliveryEvent
+	var delivered []int64
+	for _, shards := range shardCounts {
+		topo := topology.NewMesh(8, 8)
+		broken := topology.Channel{From: topo.ID(topology.Coord{4, 4}), Dir: topology.Direction{Dim: 1, Pos: true}}
+		var evs []deliveryEvent
+		e, err := New(Config{
+			Algorithm:     routing.NewNegativeFirst(topo),
+			Pattern:       traffic.NewUniform(topo),
+			OfferedLoad:   2.0,
+			WarmupCycles:  1 << 30,
+			MeasureCycles: 1,
+			Seed:          17,
+			Shards:        shards,
+			Observer:      recordDeliveries(&evs),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e.cycle < cycles {
+			switch e.cycle {
+			case faultCycle:
+				topo.DisableChannel(broken)
+			case restoreCycle:
+				topo.EnableChannel(broken)
+			}
+			e.step()
+			e.cycle++
+		}
+		e.Close()
+		events = append(events, evs)
+		delivered = append(delivered, e.stats.totalDeliveredEver)
+	}
+	if delivered[0] == 0 {
+		t.Fatal("no deliveries; test would be vacuous")
+	}
+	for i := 1; i < len(shardCounts); i++ {
+		if delivered[i] != delivered[0] {
+			t.Fatalf("shards=%d delivered %d packets, serial %d", shardCounts[i], delivered[i], delivered[0])
+		}
+		if len(events[i]) != len(events[0]) {
+			t.Fatalf("shards=%d delivery stream length %d, serial %d", shardCounts[i], len(events[i]), len(events[0]))
+		}
+		for j := range events[i] {
+			if events[i][j] != events[0][j] {
+				t.Fatalf("shards=%d delivery %d differs: serial %+v, sharded %+v",
+					shardCounts[i], j, events[0][j], events[i][j])
+			}
+		}
+	}
+}

@@ -151,7 +151,7 @@ func TestWormholeBlockingSpansRouters(t *testing.T) {
 	// buffers the blocked worm must occupy one flit in each of several
 	// consecutive routers.
 	for i := 0; i < 120; i++ {
-		e.step(nil)
+		e.step()
 		e.cycle++
 	}
 	occupied := 0

@@ -153,7 +153,7 @@ func TestTableABDeterminismUnderFault(t *testing.T) {
 			if e.cycle == faultCycle {
 				topo.DisableChannel(broken)
 			}
-			e.step(nil)
+			e.step()
 			e.cycle++
 		}
 		delivered[i] = e.stats.totalDeliveredEver
