@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"turnmodel/internal/cli"
+	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/sim"
 )
@@ -48,6 +49,12 @@ func main() {
 	metricsDir := flag.String("metrics", "", "collect run metrics and write manifest.json, metrics.prom and heatmap.txt to this directory")
 	metricsInterval := flag.Int64("metrics-interval", 1000, "metrics time-series sampling cadence in cycles")
 	exactLat := flag.Bool("metrics-exact-latencies", false, "record every packet's latency exactly in the metrics manifest (unbounded memory)")
+	faultRate := flag.Float64("fault-rate", 0, "random transient channel-fault onsets per 1000 cycles (0 = no faults)")
+	faultMTTR := flag.Int64("fault-mttr", 2000, "mean time to repair a transient fault in cycles (0 = permanent faults)")
+	recovery := flag.Int64("recovery", 0, "deadlock-recovery watchdog threshold in cycles (0 = recovery off)")
+	retryLimit := flag.Int("retry-limit", 0, "recovery retry budget per packet (0 = default 8, negative = drop on first abort)")
+	retryBackoff := flag.Int64("retry-backoff", 0, "base recovery retry backoff in cycles (0 = recovery threshold)")
+	checkInv := flag.Bool("check", false, "run the structural invariant checker during and after the simulation")
 	flag.Parse()
 
 	t, err := cli.ParseTopology(*topoFlag)
@@ -86,6 +93,21 @@ func main() {
 		MisrouteAfter: *misroute,
 		RouterDelay:   *delay,
 		Shards:        *shards,
+
+		RecoveryThreshold: *recovery,
+		RetryLimit:        *retryLimit,
+		RetryBackoff:      *retryBackoff,
+		CheckInvariants:   *checkInv,
+	}
+	if *faultRate > 0 {
+		plan, err := fault.NewCampaign(t, fault.Campaign{
+			Seed:    *seed + 1,
+			Horizon: *warmup + *measure,
+			Rate:    *faultRate,
+			MTTR:    *faultMTTR,
+		})
+		check(err)
+		cfg.FaultPlan = plan
 	}
 	// Single-VC relations run through the plain algorithm path so the
 	// buffer layout matches the paper's model exactly.
@@ -138,6 +160,16 @@ func main() {
 			metrics.ManifestFile, metrics.PrometheusFile, metrics.HeatmapFile, *metricsDir)
 		fmt.Printf("            grants=%d denials=%d misroutes=%d mean-occupancy=%.2f flits/router\n",
 			sum.Grants, sum.Denials, sum.Misroutes, sum.MeanOccupancy)
+	}
+	if *recovery > 0 || *faultRate > 0 {
+		fmt.Printf("recovery:   recoveries=%d retries=%d dropped=%d drained-flits=%d stranded-flits=%d\n",
+			res.Recoveries, res.Retries, res.PacketsDropped, res.FlitsDrained, res.StrandedFlits)
+		fmt.Printf("accounting: delivered-ever=%d dropped=%d in-flight=%d\n",
+			res.PacketsDeliveredTotal, res.PacketsDropped, res.PacketsInFlight)
+	}
+	if res.InvariantViolation != "" {
+		fmt.Fprintf(os.Stderr, "turnsim: invariant violation: %s\n", res.InvariantViolation)
+		os.Exit(1)
 	}
 	if *verbose {
 		fmt.Printf("latency percentiles: p50=%.2f p95=%.2f p99=%.2f max=%.2f us\n",

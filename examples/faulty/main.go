@@ -29,7 +29,9 @@ func main() {
 
 	// Break an eastward channel on that row.
 	broken := turnmodel.Channel{From: mesh.ID([]int{3, 3}), Dir: turnmodel.Direction{Dim: 0, Pos: true}}
-	mesh.DisableChannel(broken)
+	if err := mesh.DisableChannel(broken); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("disabling channel %v\n\n", broken)
 
 	// The minimal relation is now stuck on this pair...

@@ -150,7 +150,7 @@ var paperOrder = []string{
 	"thm1", "thm5", "turnpairs", "adapt",
 	"torus", "pcube10",
 	"pathlen", "fig13", "fig14", "fig15", "fig16", "fig13c", "claims",
-	"analytic", "hotspot", "faults", "fully", "tornado", "mesh3d", "mesh3dc", "hex", "sens14",
+	"analytic", "hotspot", "faults", "degrade", "fully", "tornado", "mesh3d", "mesh3dc", "hex", "sens14",
 }
 
 // All returns every experiment in paper order.

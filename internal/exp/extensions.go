@@ -225,7 +225,9 @@ func runFaults(o Options, w io.Writer) error {
 	for _, faults := range faultSets {
 		topo := topology.NewMesh(8, 8)
 		for _, f := range faults {
-			topo.DisableChannel(topology.Channel{From: f.From, Dir: f.Dir})
+			if err := topo.DisableChannel(topology.Channel{From: f.From, Dir: f.Dir}); err != nil {
+				return err
+			}
 		}
 		for _, minimal := range []bool{true, false} {
 			alg := routing.NewTurnGraphRouting(topo, core.WestFirstSet(), minimal)
@@ -238,14 +240,7 @@ func runFaults(o Options, w io.Writer) error {
 			// Unroutable pairs are a deterministic connectivity metric:
 			// sources from which the relation cannot reach a destination
 			// at all.
-			unroutable := 0
-			for src := topology.NodeID(0); src < topology.NodeID(topo.Nodes()); src++ {
-				for dst := topology.NodeID(0); dst < topology.NodeID(topo.Nodes()); dst++ {
-					if src != dst && !alg.CanRoute(src, dst) {
-						unroutable++
-					}
-				}
-			}
+			unroutable := routing.UnroutablePairs(alg)
 			check := deadlock.Check(alg)
 			res, err := sim.Run(sim.Config{
 				Algorithm:     alg,

@@ -387,9 +387,13 @@ func registerTurnSetFigure(id, title string, set func() *core.Set, mk func(*topo
 				return err
 			}
 			blocked := topology.Channel{From: path[1], Dir: dirBetween(t, path[1], path[2])}
-			t.DisableChannel(blocked)
+			if err := t.DisableChannel(blocked); err != nil {
+				return err
+			}
 			alt, altErr := routing.Walk(rel, src, dst, nil)
-			t.EnableChannel(blocked)
+			if err := t.EnableChannel(blocked); err != nil {
+				return err
+			}
 			if altErr != nil {
 				// The paper's dashed lines: no allowed alternative, the
 				// packet waits for the blocked channel.

@@ -1,0 +1,193 @@
+package fault
+
+import (
+	"testing"
+
+	"turnmodel/internal/topology"
+)
+
+func TestPlanValidate(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	good := topology.Channel{From: topo.ID(topology.Coord{1, 1}), Dir: topology.Direction{Dim: 0, Pos: true}}
+	var p Plan
+	p.AddChannelFault(good, 10, 50)
+	if err := p.Validate(topo); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	var bad Plan
+	bad.AddChannelFault(topology.Channel{From: topo.ID(topology.Coord{0, 0}), Dir: topology.Direction{Dim: 0}}, 10, 50)
+	if err := bad.Validate(topo); err == nil {
+		t.Error("plan with a nonexistent boundary channel validated")
+	}
+	var neg Plan
+	neg.AddChannelFault(good, -5, 50)
+	if err := neg.Validate(topo); err == nil {
+		t.Error("plan with a negative onset validated")
+	}
+	var backwards Plan
+	backwards.AddChannelFault(good, 50, 10)
+	if err := backwards.Validate(topo); err == nil {
+		t.Error("plan with repair before onset validated")
+	}
+}
+
+func TestAddRouterFault(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	var p Plan
+	// An interior router of a 2D mesh has four incident links, each with
+	// both directions: 8 channels, so 16 events for a transient fault.
+	if err := p.AddRouterFault(topo, topo.ID(topology.Coord{1, 1}), 10, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Events); got != 16 {
+		t.Fatalf("interior router fault produced %d events, want 16", got)
+	}
+	if err := p.Validate(topo); err != nil {
+		t.Fatalf("router fault plan invalid: %v", err)
+	}
+	// A corner router has two incident links: 4 channels, permanent
+	// fault = 4 down events only.
+	var c Plan
+	if err := c.AddRouterFault(topo, topo.ID(topology.Coord{0, 0}), 10, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Events); got != 4 {
+		t.Fatalf("corner router fault produced %d events, want 4", got)
+	}
+	var bad Plan
+	if err := bad.AddRouterFault(topo, topology.NodeID(99), 10, 100); err == nil {
+		t.Error("router fault on an out-of-range node accepted")
+	}
+}
+
+func TestCampaignDeterministicAndBounded(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	c := Campaign{Seed: 42, Horizon: 10000, Rate: 3, MTTR: 500}
+	a, err := NewCampaign(topo, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCampaign(topo, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("same seed produced %d vs %d events", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("same seed diverged at event %d: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("campaign generated no events at rate 3 over 10000 cycles")
+	}
+	for _, ev := range a.Events {
+		if ev.Cycle < 0 || (!ev.Up && ev.Cycle > c.Horizon) {
+			t.Fatalf("onset outside [0, horizon]: %+v", ev)
+		}
+	}
+	other, err := NewCampaign(topo, Campaign{Seed: 43, Horizon: 10000, Rate: 3, MTTR: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(other.Events) == len(a.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != other.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical campaigns")
+	}
+	// Permanent-fault campaigns (MTTR 0) emit no repair events.
+	perm, err := NewCampaign(topo, Campaign{Seed: 1, Horizon: 10000, Rate: 2, MTTR: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range perm.Events {
+		if ev.Up {
+			t.Fatalf("permanent campaign emitted a repair event: %+v", ev)
+		}
+	}
+	if _, err := NewCampaign(topo, Campaign{Seed: 1, Horizon: 1000, Rate: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewCampaign(topo, Campaign{Seed: 1, Horizon: 0, Rate: 1}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestDriverAdvanceAndReset(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	ch := topology.Channel{From: topo.ID(topology.Coord{1, 1}), Dir: topology.Direction{Dim: 0, Pos: true}}
+	ch2 := topology.Channel{From: topo.ID(topology.Coord{2, 2}), Dir: topology.Direction{Dim: 1, Pos: true}}
+	var p Plan
+	p.AddChannelFault(ch, 10, 50)
+	p.AddChannelFault(ch, 20, 60) // overlapping fault on the same channel
+	p.AddChannelFault(ch2, 30, -1)
+	d, err := NewDriver(topo, &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.Advance(9); n != 0 || !topo.Enabled(ch) {
+		t.Fatal("driver applied events before their onset")
+	}
+	if _, err := d.Advance(15); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Enabled(ch) {
+		t.Fatal("channel still enabled after onset")
+	}
+	// The first repair at 50 must not re-enable: the overlapping second
+	// fault (20..60) still holds the channel down.
+	if _, err := d.Advance(55); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Enabled(ch) {
+		t.Error("overlapping faults: channel repaired while one fault still active")
+	}
+	if d.ActiveFaults() != 2 {
+		t.Errorf("ActiveFaults = %d, want 2 (overlapped channel + permanent)", d.ActiveFaults())
+	}
+	if _, err := d.Advance(60); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Enabled(ch) {
+		t.Error("channel not repaired after both faults ended")
+	}
+	if topo.Enabled(ch2) {
+		t.Error("permanent fault healed spontaneously")
+	}
+	if !d.Done() {
+		t.Error("driver not done after the last event")
+	}
+	// Reset heals everything the driver still holds down and rewinds.
+	if err := d.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Enabled(ch) || !topo.Enabled(ch2) {
+		t.Error("Reset left channels disabled")
+	}
+	if n, _ := d.Advance(15); n == 0 || topo.Enabled(ch) {
+		t.Error("driver did not replay events after Reset")
+	}
+	if err := d.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Enabled(ch) {
+		t.Error("second Reset left the channel disabled")
+	}
+}
+
+func TestDriverRejectsBadPlan(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	var p Plan
+	p.AddChannelFault(topology.Channel{From: 99, Dir: topology.Direction{Dim: 0, Pos: true}}, 10, 50)
+	if _, err := NewDriver(topo, &p); err == nil {
+		t.Error("driver accepted a plan naming an out-of-range node")
+	}
+}

@@ -28,6 +28,20 @@ type Manifest struct {
 	// ExactLatencies is the per-packet latency record in cycles, only
 	// present when exact recording was enabled.
 	ExactLatencies []float64 `json:"exact_latencies_cycles,omitempty"`
+	// EpochLatencies breaks delivered-packet latency down by fault
+	// epoch, present when per-epoch attribution ran (fault campaigns).
+	EpochLatencies []EpochLatencyMetrics `json:"epoch_latencies,omitempty"`
+}
+
+// EpochLatencyMetrics summarizes delivered-packet latency within one
+// fault epoch.
+type EpochLatencyMetrics struct {
+	// Epoch is the topology fault-epoch number.
+	Epoch int `json:"epoch"`
+	// Count, MeanCycles and MaxCycles summarize the epoch's deliveries.
+	Count      int64   `json:"count"`
+	MeanCycles float64 `json:"mean_cycles"`
+	MaxCycles  float64 `json:"max_cycles"`
 }
 
 // RouterMetrics is one router's counter block.
@@ -96,6 +110,18 @@ func (m *Collector) BuildManifest() Manifest {
 	sort.SliceStable(man.Channels, func(i, j int) bool {
 		return man.Channels[i].Flits > man.Channels[j].Flits
 	})
+	for epoch := range m.epochLats {
+		a := &m.epochLats[epoch]
+		if a.N() == 0 {
+			continue
+		}
+		man.EpochLatencies = append(man.EpochLatencies, EpochLatencyMetrics{
+			Epoch:      epoch,
+			Count:      a.N(),
+			MeanCycles: a.Mean(),
+			MaxCycles:  a.Max(),
+		})
+	}
 	return man
 }
 
@@ -160,6 +186,18 @@ func (m *Collector) WritePrometheus(w io.Writer) error {
 	})
 	counter("turnsim_cycles_total", "Simulated cycles observed by the collector.", func() {
 		fmt.Fprintf(bw, "turnsim_cycles_total %d\n", m.cycles)
+	})
+	counter("turnsim_recoveries_total", "Worms aborted regressively by deadlock recovery.", func() {
+		fmt.Fprintf(bw, "turnsim_recoveries_total %d\n", m.Recoveries)
+	})
+	counter("turnsim_retries_total", "Source-level packet re-injections after recovery aborts.", func() {
+		fmt.Fprintf(bw, "turnsim_retries_total %d\n", m.Retries)
+	})
+	counter("turnsim_packets_dropped_total", "Packets dropped after exhausting the recovery retry budget.", func() {
+		fmt.Fprintf(bw, "turnsim_packets_dropped_total %d\n", m.PacketsDropped)
+	})
+	counter("turnsim_drained_flits_total", "Flits removed from network buffers by recovery aborts.", func() {
+		fmt.Fprintf(bw, "turnsim_drained_flits_total %d\n", m.DrainedFlits)
 	})
 	fmt.Fprintf(bw, "# HELP turnsim_packet_latency_cycles Delivered-packet latency distribution.\n# TYPE turnsim_packet_latency_cycles summary\n")
 	if n := m.latencies.N(); n > 0 {

@@ -93,6 +93,16 @@ type Collector struct {
 	InjectedFlits  int64
 	DeliveredFlits int64
 
+	// Recovery counters, network-wide, incremented by the engine when
+	// deadlock recovery is enabled (sim.Config.RecoveryThreshold > 0):
+	// Recoveries counts regressive worm aborts, Retries source-level
+	// re-injections, PacketsDropped retry-budget exhaustions, and
+	// DrainedFlits the flits aborts removed from network buffers.
+	Recoveries     int64
+	Retries        int64
+	PacketsDropped int64
+	DrainedFlits   int64
+
 	topo       *topology.Topology
 	nphys      int
 	cycles     int64
@@ -100,6 +110,7 @@ type Collector struct {
 	samples    []Sample
 	lastDel    int64
 	latencies  *stats.Histogram
+	epochLats  []stats.Accumulator
 	exact      []float64
 	bound      bool
 }
@@ -130,6 +141,11 @@ func (m *Collector) Bind(t *topology.Topology, nphys int) {
 	m.ChannelFlits = make([]int64, n*nphys)
 	m.InjectedFlits = 0
 	m.DeliveredFlits = 0
+	m.Recoveries = 0
+	m.Retries = 0
+	m.PacketsDropped = 0
+	m.DrainedFlits = 0
+	m.epochLats = m.epochLats[:0]
 	m.cycles = 0
 	m.nextSample = m.cfg.Interval
 	m.samples = m.samples[:0]
@@ -191,6 +207,27 @@ func (m *Collector) RecordLatency(cycles float64) {
 		m.exact = append(m.exact, cycles)
 	}
 }
+
+// RecordEpochLatency attributes one delivered packet's latency to the
+// fault epoch the delivery happened in, so fault campaigns can compare
+// latency across fault-set changes. Epochs are small dense integers
+// (the topology's fault epoch counter); the accumulator slice grows to
+// the highest epoch seen.
+func (m *Collector) RecordEpochLatency(epoch int, cycles float64) {
+	if epoch < 0 {
+		return
+	}
+	for len(m.epochLats) <= epoch {
+		m.epochLats = append(m.epochLats, stats.Accumulator{})
+	}
+	m.epochLats[epoch].Add(cycles)
+}
+
+// EpochLatencies returns the per-fault-epoch latency accumulators,
+// indexed by epoch. Epochs with no deliveries have zero-count
+// accumulators; the slice is empty when RecordEpochLatency was never
+// called (no fault plan, or no metrics-attached deliveries).
+func (m *Collector) EpochLatencies() []stats.Accumulator { return m.epochLats }
 
 // Samples returns the recorded time series.
 func (m *Collector) Samples() []Sample { return m.samples }
@@ -261,6 +298,15 @@ type Summary struct {
 	LatencyP99Cycles  float64 `json:"latency_p99_cycles"`
 	// Samples counts the recorded time-series points.
 	Samples int `json:"samples"`
+	// Recovery totals; all zero when deadlock recovery was disabled.
+	Recoveries     int64 `json:"recoveries,omitempty"`
+	Retries        int64 `json:"retries,omitempty"`
+	PacketsDropped int64 `json:"packets_dropped,omitempty"`
+	DrainedFlits   int64 `json:"drained_flits,omitempty"`
+	// FaultEpochs is the highest fault epoch that recorded a delivery
+	// via RecordEpochLatency, plus one (0 when per-epoch attribution
+	// never ran).
+	FaultEpochs int `json:"fault_epochs,omitempty"`
 }
 
 // Summarize computes the run's Summary.
@@ -270,6 +316,11 @@ func (m *Collector) Summarize() Summary {
 		InjectedFlits:  m.InjectedFlits,
 		DeliveredFlits: m.DeliveredFlits,
 		Samples:        len(m.samples),
+		Recoveries:     m.Recoveries,
+		Retries:        m.Retries,
+		PacketsDropped: m.PacketsDropped,
+		DrainedFlits:   m.DrainedFlits,
+		FaultEpochs:    len(m.epochLats),
 	}
 	for i := range m.RouterFlits {
 		s.FlitsForwarded += m.RouterFlits[i]

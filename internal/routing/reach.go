@@ -1,0 +1,114 @@
+package routing
+
+import (
+	"turnmodel/internal/topology"
+)
+
+// CanRouter is implemented by relations that can answer source-to-
+// destination reachability directly (e.g. TurnGraphRouting's cached
+// turn-graph reachability). UnroutablePairs uses it as a fast path.
+type CanRouter interface {
+	// CanRoute reports whether a packet injected at src can reach dst
+	// under the topology's current fault set.
+	CanRoute(src, dst topology.NodeID) bool
+}
+
+// UnroutablePairs counts the ordered (src, dst) pairs, src != dst, that
+// alg cannot serve under its topology's current fault set — the pairs a
+// fault campaign must expect to drop (or to deadlock on, for relations
+// that lose connectivity non-gracefully). Relations implementing
+// CanRouter answer directly; for the rest, reachability is computed by
+// a per-destination reverse search over (router, arrival-port) states
+// of the routing relation, honoring disabled channels exactly as the
+// simulator's allocation does.
+func UnroutablePairs(alg Algorithm) int {
+	if cr, ok := alg.(CanRouter); ok {
+		t := alg.Topology()
+		n := t.Nodes()
+		bad := 0
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s != d && !cr.CanRoute(topology.NodeID(s), topology.NodeID(d)) {
+					bad++
+				}
+			}
+		}
+		return bad
+	}
+	return unroutableGeneric(alg)
+}
+
+// unroutableGeneric computes UnroutablePairs for an arbitrary relation.
+// For each destination it builds the state graph whose nodes are
+// (router, arrival port) pairs — arrival ports are the 2n incoming
+// directions plus "injected" — and whose edges are the relation's
+// candidate moves over enabled channels, then runs one reverse BFS from
+// the destination's states. A source is routable iff its injected
+// state reaches the destination.
+func unroutableGeneric(alg Algorithm) int {
+	t := alg.Topology()
+	n := t.Nodes()
+	ndirs := 2 * t.NumDims()
+	ports := ndirs + 1 // arrival directions plus injected
+	nstates := n * ports
+	rev := make([][]int32, nstates)
+	reach := make([]bool, nstates)
+	queue := make([]int32, 0, nstates)
+	var buf []topology.Direction
+	bad := 0
+	for dsti := 0; dsti < n; dsti++ {
+		dst := topology.NodeID(dsti)
+		for i := range rev {
+			rev[i] = rev[i][:0]
+			reach[i] = false
+		}
+		queue = queue[:0]
+		for v := 0; v < n; v++ {
+			if v == dsti {
+				// The relation must not be asked for candidates at the
+				// destination; its states are the accepting set.
+				for ip := 0; ip < ports; ip++ {
+					s := int32(v*ports + ip)
+					reach[s] = true
+					queue = append(queue, s)
+				}
+				continue
+			}
+			cur := topology.NodeID(v)
+			for ip := 0; ip < ports; ip++ {
+				in := Injected
+				if ip < ndirs {
+					in = Arrived(topology.DirectionFromIndex(ip))
+				}
+				buf = alg.Candidates(cur, dst, in, buf[:0])
+				for _, d := range buf {
+					if !t.Enabled(topology.Channel{From: cur, Dir: d}) {
+						continue
+					}
+					u, ok := t.Neighbor(cur, d)
+					if !ok {
+						continue
+					}
+					to := int32(int(u)*ports + d.Index())
+					rev[to] = append(rev[to], int32(v*ports+ip))
+				}
+			}
+		}
+		for len(queue) > 0 {
+			s := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, from := range rev[s] {
+				if !reach[from] {
+					reach[from] = true
+					queue = append(queue, from)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v != dsti && !reach[v*ports+ndirs] {
+				bad++
+			}
+		}
+	}
+	return bad
+}

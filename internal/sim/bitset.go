@@ -11,8 +11,9 @@ type bitset []uint64
 
 func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 
-func (b bitset) set(i int32)   { b[i>>6] |= 1 << (uint(i) & 63) }
-func (b bitset) clear(i int32) { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) set(i int32)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int32)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) get(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // setAll sets bits 0..n-1.
 func (b bitset) setAll(n int) {

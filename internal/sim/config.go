@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/topology"
@@ -236,6 +237,46 @@ type Config struct {
 	// exists for those A/B tests and for diagnosing table issues.
 	DisableRouteTable bool
 
+	// FaultPlan, if non-nil, schedules channel faults and repairs on
+	// simulated-cycle timestamps: the engine applies due events at the
+	// top of every cycle through the topology's DisableChannel/
+	// EnableChannel fault-epoch path, so routing tables recompile and
+	// candidate caches invalidate exactly as for static faults. The plan
+	// is validated against the topology at construction. Run restores
+	// the topology's pre-run fault state on exit, so the same topology
+	// can host further runs.
+	FaultPlan *fault.Plan
+
+	// RecoveryThreshold, when positive, arms the per-worm progress
+	// watchdog: a packet none of whose flits advanced for this many
+	// cycles while its header sits unallocated is aborted regressively —
+	// its in-network flits are drained, its held output channels
+	// released — and re-injected at the source after a backoff, up to
+	// RetryLimit times. Zero (the default) disables recovery entirely;
+	// the engine is then bit-identical to earlier versions. Must exceed
+	// RouterDelay when set (a header is not even eligible for allocation
+	// before that).
+	RecoveryThreshold int64
+
+	// RetryLimit bounds source-level re-injections per packet when
+	// recovery is enabled: a packet aborted more than RetryLimit times
+	// is dropped (counted in Result.PacketsDropped). Zero picks the
+	// default of 8; a negative value drops on the first abort.
+	RetryLimit int
+
+	// RetryBackoff is the base re-injection delay in cycles after an
+	// abort; the actual delay doubles with each retry of the same packet
+	// (capped at 8x the base). Zero picks RecoveryThreshold.
+	RetryBackoff int64
+
+	// CheckInvariants runs the engine's structural invariant checker
+	// (flit conservation, channel-hold bijection, buffer bounds; see
+	// Engine.CheckInvariants) periodically during the run and once at
+	// the end, recording the first violation in
+	// Result.InvariantViolation. Intended for tests and the -check
+	// flags; it scans every buffer, so leave it off in benchmarks.
+	CheckInvariants bool
+
 	// Metrics, if non-nil, attaches a counter collector to the run: the
 	// engine binds it at construction and fills its per-router and
 	// per-channel counters, time series and latency histogram over the
@@ -283,6 +324,24 @@ func (c *Config) withDefaults() (Config, error) {
 	if cfg.Shards < 0 {
 		return cfg, fmt.Errorf("sim: negative shard count %d", cfg.Shards)
 	}
+	if cfg.RecoveryThreshold < 0 {
+		return cfg, fmt.Errorf("sim: negative recovery threshold %d", cfg.RecoveryThreshold)
+	}
+	if cfg.RecoveryThreshold > 0 {
+		if cfg.RecoveryThreshold <= cfg.RouterDelay {
+			return cfg, fmt.Errorf("sim: recovery threshold %d must exceed router delay %d",
+				cfg.RecoveryThreshold, cfg.RouterDelay)
+		}
+		if cfg.RetryLimit == 0 {
+			cfg.RetryLimit = 8
+		}
+		if cfg.RetryBackoff < 0 {
+			return cfg, fmt.Errorf("sim: negative retry backoff %d", cfg.RetryBackoff)
+		}
+		if cfg.RetryBackoff == 0 {
+			cfg.RetryBackoff = cfg.RecoveryThreshold
+		}
+	}
 	if cfg.Script == nil {
 		if cfg.Pattern == nil {
 			return cfg, fmt.Errorf("sim: config requires a Pattern or a Script")
@@ -297,6 +356,34 @@ func (c *Config) withDefaults() (Config, error) {
 		cfg.DrainDeadline = 1 << 20
 	}
 	return cfg, nil
+}
+
+// validateAgainst runs the validation that needs the resolved topology:
+// scripted endpoints must name real, distinct nodes and the fault
+// plan's channels must exist. New calls it so malformed configurations
+// fail at construction time with an error instead of panicking (or
+// corrupting flat-array state) mid-run.
+func (c *Config) validateAgainst(t *topology.Topology) error {
+	for i, m := range c.Script {
+		if err := t.CheckNode(m.Src); err != nil {
+			return fmt.Errorf("sim: script message %d: src: %w", i, err)
+		}
+		if err := t.CheckNode(m.Dst); err != nil {
+			return fmt.Errorf("sim: script message %d: dst: %w", i, err)
+		}
+		if m.Src == m.Dst {
+			return fmt.Errorf("sim: script message %d: src == dst (%d)", i, m.Src)
+		}
+		if m.Length < 1 {
+			return fmt.Errorf("sim: script message %d: length %d < 1", i, m.Length)
+		}
+	}
+	if c.FaultPlan != nil {
+		if err := c.FaultPlan.Validate(t); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	return nil
 }
 
 // vcAlgorithm returns the routing relation in virtual-channel form.

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/stats"
@@ -30,6 +31,14 @@ type packet struct {
 	flitsSent      int // flits that have left the source queue
 	flitsDelivered int
 	hops           int // network channels traversed by the header
+
+	// lastProgress is the cycle any flit of this packet last advanced
+	// (injection or link traversal); the recovery watchdog's staleness
+	// key. retries counts regressive aborts of this packet. Both are
+	// bookkeeping stores only — with recovery disabled nothing reads
+	// them, so results are bit-identical either way.
+	lastProgress int64
+	retries      int32
 }
 
 // flit is one flow control digit.
@@ -195,6 +204,33 @@ type Engine struct {
 	// measurement window, for utilization reporting.
 	linkFlits []int64
 
+	// faults replays cfg.FaultPlan as cycles advance, or nil. It runs at
+	// the top of step, before generation and allocation, so a cycle's
+	// routing decisions always see a consistent fault set.
+	faults *fault.Driver
+
+	// recov is the deadlock-recovery state: the retry queue, the
+	// watchdog's scan cadence and victim scratch, and the recovery
+	// counters. Unused (and cost-free) when cfg.RecoveryThreshold == 0.
+	recov recoveryState
+
+	// recObs is cfg.Observer's RecoveryObserver extension, type-asserted
+	// once at construction, or nil.
+	recObs RecoveryObserver
+
+	// Whole-run flit conservation counters, maintained unconditionally:
+	// flits that entered the network (left a source queue), flits
+	// consumed at destinations, and flits removed by recovery drains.
+	// The invariant checker's conservation law is
+	// injected == delivered + drained + (flits sitting in buffers).
+	flitsInjectedEver  int64
+	flitsDeliveredEver int64
+	flitsDrainedEver   int64
+
+	// invariantErr records the first invariant violation found when
+	// cfg.CheckInvariants is set ("" = none so far).
+	invariantErr string
+
 	stats runStats
 
 	// m is the attached metrics collector, or nil. Every hot-path hook
@@ -235,6 +271,9 @@ func New(cfg Config) (*Engine, error) {
 	vcs := alg.NumVCs()
 	if vcs < 1 {
 		return nil, fmt.Errorf("sim: algorithm reports %d virtual channels", vcs)
+	}
+	if err := c.validateAgainst(t); err != nil {
+		return nil, err
 	}
 	ndim2 := 2 * t.NumDims()
 	vport := ndim2*vcs + 1
@@ -288,7 +327,7 @@ func New(cfg Config) (*Engine, error) {
 		arena := make([]flit, slots)
 		for i := range e.inbufs {
 			off := i * e.depth
-			e.inbufs[i].q = arena[off:off : off+e.depth]
+			e.inbufs[i].q = arena[off : off : off+e.depth]
 		}
 	}
 	for i := range e.busyBy {
@@ -322,6 +361,20 @@ func New(cfg Config) (*Engine, error) {
 		e.m = c.Metrics
 		e.m.Bind(t, e.nphys)
 	}
+	if c.FaultPlan != nil && len(c.FaultPlan.Events) > 0 {
+		d, err := fault.NewDriver(t, c.FaultPlan)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		e.faults = d
+	}
+	if c.RecoveryThreshold > 0 {
+		e.recov.every = c.RecoveryThreshold / 4
+		if e.recov.every < 1 {
+			e.recov.every = 1
+		}
+	}
+	e.recObs, _ = c.Observer.(RecoveryObserver)
 	if e.script == nil {
 		// OfferedLoad flits/us/node = rate msgs/cycle * meanLen flits/msg
 		// * 20 cycles/us.
@@ -828,6 +881,8 @@ func (e *Engine) tryInject(v topology.NodeID) {
 		}
 	}
 	p.flitsSent++
+	p.lastProgress = e.cycle
+	e.flitsInjectedEver++
 	e.injUsed[in] = true
 	e.dirtyInj = append(e.dirtyInj, in)
 	e.lastMove = e.cycle
@@ -904,6 +959,8 @@ func (e *Engine) moveOne(in int32) {
 		}
 		e.popFront(in, b)
 		f.p.flitsDelivered++
+		f.p.lastProgress = e.cycle
+		e.flitsDeliveredEver++
 		e.lastMove = e.cycle
 		if f.tail {
 			e.deliver(f.p)
@@ -947,6 +1004,7 @@ func (e *Engine) moveOne(in int32) {
 		e.flowing.set(dest)
 	}
 	e.lastMove = e.cycle
+	f.p.lastProgress = e.cycle
 	if f.head {
 		db.headArrival = e.cycle
 		f.p.hops++
@@ -1020,6 +1078,11 @@ func (e *Engine) deliver(p *packet) {
 	e.stats.totalDeliveredEver++
 	if e.m != nil {
 		e.m.RecordLatency(float64(p.deliverCycle - p.genCycle))
+		if e.faults != nil {
+			// Attribute the delivery to the current fault epoch, so
+			// campaigns can compare latency across fault-set changes.
+			e.m.RecordEpochLatency(int(e.lastFaultEpoch), float64(p.deliverCycle-p.genCycle))
+		}
 	}
 	if e.stats.measuring {
 		e.stats.packetsDelivered++

@@ -21,13 +21,14 @@ type Observer interface {
 	Deliver(cycle int64, src, dst topology.NodeID, latencyCycles int64, hops int)
 }
 
-// ObserverFuncs adapts individual callbacks to the Observer interface;
-// nil fields are skipped.
+// ObserverFuncs adapts individual callbacks to the Observer interface
+// (and, via AbortFn, to RecoveryObserver); nil fields are skipped.
 type ObserverFuncs struct {
 	InjectFn   func(cycle int64, src, dst topology.NodeID, length int)
 	AllocateFn func(cycle int64, at topology.NodeID, dir topology.Direction, vc int, eject bool)
 	ForwardFn  func(cycle int64, ch topology.Channel, vc int, head, tail bool)
 	DeliverFn  func(cycle int64, src, dst topology.NodeID, latencyCycles int64, hops int)
+	AbortFn    func(cycle int64, src, dst topology.NodeID, flitsDrained, channelsReleased, retry int, dropped bool)
 }
 
 // Inject implements Observer.
@@ -55,6 +56,13 @@ func (o ObserverFuncs) Forward(cycle int64, ch topology.Channel, vc int, head, t
 func (o ObserverFuncs) Deliver(cycle int64, src, dst topology.NodeID, latencyCycles int64, hops int) {
 	if o.DeliverFn != nil {
 		o.DeliverFn(cycle, src, dst, latencyCycles, hops)
+	}
+}
+
+// Abort implements RecoveryObserver.
+func (o ObserverFuncs) Abort(cycle int64, src, dst topology.NodeID, flitsDrained, channelsReleased, retry int, dropped bool) {
+	if o.AbortFn != nil {
+		o.AbortFn(cycle, src, dst, flitsDrained, channelsReleased, retry, dropped)
 	}
 }
 

@@ -48,10 +48,46 @@ type Result struct {
 	BacklogGrowth int64
 
 	// Deadlocked reports that no flit moved for DeadlockThreshold cycles
-	// while traffic was in flight.
+	// while traffic was in flight. With recovery enabled
+	// (Config.RecoveryThreshold > 0) stalled worms are aborted and
+	// retried instead, so deadlock becomes one outcome among recovered,
+	// dropped and delivered; even then a deadlocked result remains
+	// possible (e.g. a retry backoff longer than the deadlock threshold
+	// on an otherwise idle network).
 	Deadlocked bool
 	// DeadlockCycle is the cycle deadlock was declared, if any.
 	DeadlockCycle int64
+
+	// Recoveries counts worms the recovery watchdog aborted
+	// regressively, Retries the re-injections released after backoff,
+	// PacketsDropped the packets whose retry budget ran out, and
+	// FlitsDrained the flits recovery removed from network buffers. All
+	// zero when recovery is disabled.
+	Recoveries     int64
+	Retries        int64
+	PacketsDropped int64
+	FlitsDrained   int64
+
+	// StrandedFlits counts flits still sitting in network buffers when
+	// the run ended — nonzero for deadlocked or deadline-capped runs,
+	// where it measures how much traffic died in the network.
+	StrandedFlits int64
+
+	// PacketsGeneratedTotal and PacketsDeliveredTotal count generations
+	// and deliveries over the whole run, not just the measurement
+	// window, and PacketsInFlight the packets generated but neither
+	// delivered nor dropped by the end. Together with PacketsDropped
+	// they account for every generated packet:
+	// PacketsGeneratedTotal == PacketsDeliveredTotal + PacketsDropped +
+	// PacketsInFlight.
+	PacketsGeneratedTotal int64
+	PacketsDeliveredTotal int64
+	PacketsInFlight       int64
+
+	// InvariantViolation holds the first structural invariant violation
+	// detected when Config.CheckInvariants was set, or "" for a clean
+	// run (and always "" when the checker was off).
+	InvariantViolation string
 
 	// Cycles is the total number of simulated cycles.
 	Cycles int64
@@ -70,14 +106,31 @@ func (r Result) String() string {
 	} else if !r.Sustainable {
 		status = "saturated"
 	}
+	if r.Recoveries > 0 || r.PacketsDropped > 0 {
+		status += fmt.Sprintf(" recoveries=%d retries=%d dropped=%d", r.Recoveries, r.Retries, r.PacketsDropped)
+	}
+	if r.InvariantViolation != "" {
+		status += " INVARIANT-VIOLATION"
+	}
 	return fmt.Sprintf("%s/%s offered=%.2f flits/us/node: throughput=%.1f flits/us latency=%.2f us (net %.2f) hops=%.2f [%s]",
 		r.Algorithm, r.Pattern, r.OfferedLoad, r.Throughput, r.AvgLatency, r.AvgNetLatency, r.AvgHops, status)
 }
 
-// step advances the simulation by one cycle's phases: message
-// generation, output allocation, link reset, and flit movement. The
-// caller owns the cycle counter (it increments e.cycle afterwards).
+// step advances the simulation by one cycle's phases: fault-plan
+// application and deadlock recovery (both usually disabled and then
+// free), message generation, output allocation, link reset, and flit
+// movement. The caller owns the cycle counter (it increments e.cycle
+// afterwards). Faults and recovery run first — serially, before any
+// shard worker exists this cycle — so allocation always sees a
+// consistent fault set and drained buffers, and recovery observer
+// events precede every other event of the same cycle.
 func (e *Engine) step() {
+	if e.faults != nil {
+		e.advanceFaults()
+	}
+	if e.cfg.RecoveryThreshold > 0 {
+		e.recoverStep()
+	}
 	e.generate()
 	e.allocate()
 	// Reset only the link and injection usage flags set last cycle.
@@ -111,7 +164,8 @@ func Run(cfg Config) (Result, error) {
 }
 
 func (e *Engine) run() Result {
-	defer e.Close() // park the shard workers, if any were started
+	defer e.Close()         // park the shard workers, if any were started
+	defer e.restoreFaults() // heal whatever the fault plan left disabled
 	res := Result{
 		Algorithm:   e.alg.Name(),
 		OfferedLoad: e.cfg.OfferedLoad,
@@ -148,6 +202,9 @@ func (e *Engine) run() Result {
 
 		e.step()
 
+		if e.cfg.CheckInvariants && e.cycle%1024 == 1023 {
+			e.checkInvariantsNow("periodic")
+		}
 		if e.inFlight > 0 && e.cycle-e.lastMove >= e.cfg.DeadlockThreshold {
 			res.Deadlocked = true
 			res.DeadlockCycle = e.cycle
@@ -158,6 +215,18 @@ func (e *Engine) run() Result {
 
 	res.Cycles = e.cycle
 	s := &e.stats
+	if e.cfg.CheckInvariants {
+		e.checkInvariantsNow("end of run")
+	}
+	res.Recoveries = e.recov.recoveries
+	res.Retries = e.recov.retries
+	res.PacketsDropped = e.recov.drops
+	res.FlitsDrained = e.recov.flitsDrained
+	res.StrandedFlits = e.flitsInjectedEver - e.flitsDeliveredEver - e.flitsDrainedEver
+	res.PacketsGeneratedTotal = e.nextPktID
+	res.PacketsDeliveredTotal = s.totalDeliveredEver
+	res.PacketsInFlight = int64(e.inFlight)
+	res.InvariantViolation = e.invariantErr
 	if scripted {
 		res.PacketsGenerated = s.packetsGenerated
 		res.PacketsDelivered = s.totalDeliveredEver
@@ -179,7 +248,17 @@ func (e *Engine) run() Result {
 		}
 		return res
 	}
-	measureUs := float64(e.cfg.MeasureCycles) / CyclesPerMicrosecond
+	// Deadlocked (or otherwise truncated) runs measure over the cycles
+	// actually simulated inside the window, so their partial throughput
+	// and utilization are meaningful instead of diluted by the cycles
+	// that never ran. Completed runs see exactly MeasureCycles here.
+	window := e.cfg.MeasureCycles
+	if res.Deadlocked && s.measuring {
+		if w := e.cycle - s.windowStart; w > 0 && w < window {
+			window = w
+		}
+	}
+	measureUs := float64(window) / CyclesPerMicrosecond
 	res.Throughput = float64(s.flitsDelivered) / measureUs
 	if s.packetsDelivered > 0 {
 		res.AvgLatency = s.sumLatency / float64(s.packetsDelivered) / CyclesPerMicrosecond
@@ -192,7 +271,7 @@ func (e *Engine) run() Result {
 	}
 	res.PacketsDelivered = s.packetsDelivered
 	res.PacketsGenerated = s.packetsGenerated
-	res.MaxChannelUtilization, res.HottestChannel = e.hottestChannel(e.cfg.MeasureCycles)
+	res.MaxChannelUtilization, res.HottestChannel = e.hottestChannel(window)
 	res.BacklogGrowth = e.backlogFlits() - s.backlogStartFlits
 	genFlits := s.flitsGenMeasure
 	res.Sustainable = !res.Deadlocked && float64(res.BacklogGrowth) <= 0.05*float64(genFlits)+float64(2*e.topo.Nodes())

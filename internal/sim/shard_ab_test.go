@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/topology"
@@ -137,6 +138,37 @@ func TestShardABDeterminism(t *testing.T) {
 				Seed:              7,
 			}
 		})
+	})
+}
+
+// TestShardABDeterminismWithRecovery: a transient-fault campaign with
+// deadlock recovery armed — the fault driver and recovery watchdog run
+// serially at the top of each cycle, so the sharded propose/commit split
+// must reproduce the serial engine's aborts, retries and drains exactly,
+// down to the full metrics manifest (which now includes per-fault-epoch
+// latency).
+func TestShardABDeterminismWithRecovery(t *testing.T) {
+	runShardAB(t, func() Config {
+		topo := topology.NewMesh(8, 8)
+		plan, err := fault.NewCampaign(topo, fault.Campaign{Seed: 13, Horizon: 2000, Rate: 5, MTTR: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Events) == 0 {
+			t.Fatal("campaign generated no events; the A/B case would be vacuous")
+		}
+		return Config{
+			Algorithm:         routing.NewWestFirst(topo),
+			Pattern:           traffic.NewUniform(topo),
+			OfferedLoad:       3.0,
+			WarmupCycles:      500,
+			MeasureCycles:     1500,
+			Seed:              13,
+			FaultPlan:         plan,
+			RecoveryThreshold: 128,
+			RetryLimit:        8,
+			CheckInvariants:   true,
+		}
 	})
 }
 

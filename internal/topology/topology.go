@@ -226,19 +226,43 @@ func (t *Topology) CoordOf(id NodeID, dim int) int {
 	return int(id) / t.strides[dim] % t.dims[dim]
 }
 
-// ID returns the node at coordinate c.
+// ID returns the node at coordinate c. It panics on a malformed
+// coordinate; use IDChecked to receive an error instead.
 func (t *Topology) ID(c Coord) NodeID {
+	id, err := t.IDChecked(c)
+	if err != nil {
+		panic(err.Error())
+	}
+	return id
+}
+
+// IDChecked returns the node at coordinate c, or an error when the
+// coordinate has the wrong arity or a component out of range. It is the
+// non-panicking form of ID, for validating externally supplied
+// coordinates (configuration files, command-line flags, fault plans).
+func (t *Topology) IDChecked(c Coord) (NodeID, error) {
 	if len(c) != len(t.dims) {
-		panic(fmt.Sprintf("topology: coordinate has %d dims, topology has %d", len(c), len(t.dims)))
+		return 0, fmt.Errorf("topology: coordinate has %d dims, topology has %d", len(c), len(t.dims))
 	}
 	v := 0
 	for i := len(c) - 1; i >= 0; i-- {
 		if c[i] < 0 || c[i] >= t.dims[i] {
-			panic(fmt.Sprintf("topology: coordinate %v out of range in dim %d", c, i))
+			return 0, fmt.Errorf("topology: coordinate %v out of range in dim %d", c, i)
 		}
 		v = v*t.dims[i] + c[i]
 	}
-	return NodeID(v)
+	return NodeID(v), nil
+}
+
+// CheckNode reports whether id names a node of the topology, returning
+// an error otherwise. Callers validating externally supplied node IDs
+// (scripts, fault plans) use it to fail at configuration time instead
+// of corrupting state mid-run.
+func (t *Topology) CheckNode(id NodeID) error {
+	if id < 0 || int(id) >= t.nodes {
+		return fmt.Errorf("topology: node %d out of range [0, %d)", id, t.nodes)
+	}
+	return nil
 }
 
 // HasChannel reports whether the channel leaving node from in direction
@@ -341,21 +365,47 @@ func (t *Topology) NumChannels() int {
 
 // DisableChannel marks channel c as faulty. Faulty channels remain part
 // of the topology but Enabled reports false for them; routing layers that
-// honor faults will not use them.
-func (t *Topology) DisableChannel(c Channel) {
-	if !t.HasChannel(c.From, c.Dir) {
-		panic(fmt.Sprintf("topology: cannot disable nonexistent channel %v", c))
+// honor faults will not use them. Disabling a channel that does not
+// exist (a node out of range, or a direction off a mesh boundary)
+// returns an error and changes nothing.
+func (t *Topology) DisableChannel(c Channel) error {
+	if err := t.checkChannel(c); err != nil {
+		return fmt.Errorf("topology: cannot disable %v: %w", c, err)
 	}
 	t.disabled[t.ChannelID(c)] = true
 	t.faultEpoch++
 	t.notifyFaultChange()
+	return nil
 }
 
-// EnableChannel clears the fault on channel c.
-func (t *Topology) EnableChannel(c Channel) {
+// EnableChannel clears the fault on channel c (repairing it). Like
+// DisableChannel it returns an error for a channel that does not exist.
+// Enabling an already healthy channel is a no-op that still advances the
+// fault epoch.
+func (t *Topology) EnableChannel(c Channel) error {
+	if err := t.checkChannel(c); err != nil {
+		return fmt.Errorf("topology: cannot enable %v: %w", c, err)
+	}
 	t.disabled[t.ChannelID(c)] = false
 	t.faultEpoch++
 	t.notifyFaultChange()
+	return nil
+}
+
+// checkChannel validates that c names an existing channel, including the
+// node-range check that ChannelID's dense arithmetic would otherwise
+// turn into an out-of-bounds index.
+func (t *Topology) checkChannel(c Channel) error {
+	if err := t.CheckNode(c.From); err != nil {
+		return err
+	}
+	if c.Dir.Dim < 0 || c.Dir.Dim >= len(t.dims) {
+		return fmt.Errorf("direction dimension %d out of range [0, %d)", c.Dir.Dim, len(t.dims))
+	}
+	if !t.HasChannel(c.From, c.Dir) {
+		return fmt.Errorf("channel does not exist")
+	}
+	return nil
 }
 
 // OnFaultChange registers fn to be called after every DisableChannel or

@@ -247,14 +247,46 @@ func TestOnFaultChange(t *testing.T) {
 	}
 }
 
-func TestDisableNonexistentChannelPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic disabling a boundary channel")
-		}
-	}()
+func TestDisableNonexistentChannelErrors(t *testing.T) {
 	m := NewMesh(4, 4)
-	m.DisableChannel(Channel{From: m.ID(Coord{0, 0}), Dir: Direction{Dim: 0}})
+	epoch := m.FaultEpoch()
+	if err := m.DisableChannel(Channel{From: m.ID(Coord{0, 0}), Dir: Direction{Dim: 0}}); err == nil {
+		t.Error("expected error disabling a boundary channel")
+	}
+	if err := m.DisableChannel(Channel{From: NodeID(99), Dir: Direction{Dim: 0, Pos: true}}); err == nil {
+		t.Error("expected error disabling a channel at an out-of-range node")
+	}
+	if err := m.DisableChannel(Channel{From: 0, Dir: Direction{Dim: 5, Pos: true}}); err == nil {
+		t.Error("expected error disabling a channel in an out-of-range dimension")
+	}
+	if err := m.EnableChannel(Channel{From: m.ID(Coord{0, 0}), Dir: Direction{Dim: 0}}); err == nil {
+		t.Error("expected error enabling a boundary channel")
+	}
+	if m.FaultEpoch() != epoch {
+		t.Error("failed disable/enable calls must not advance the fault epoch")
+	}
+}
+
+func TestIDCheckedAndCheckNode(t *testing.T) {
+	m := NewMesh(4, 4)
+	if _, err := m.IDChecked(Coord{1, 2}); err != nil {
+		t.Errorf("IDChecked rejected an in-range coordinate: %v", err)
+	}
+	if _, err := m.IDChecked(Coord{4, 0}); err == nil {
+		t.Error("IDChecked accepted an out-of-range coordinate")
+	}
+	if _, err := m.IDChecked(Coord{1}); err == nil {
+		t.Error("IDChecked accepted a coordinate with wrong arity")
+	}
+	if err := m.CheckNode(15); err != nil {
+		t.Errorf("CheckNode rejected a valid node: %v", err)
+	}
+	if err := m.CheckNode(16); err == nil {
+		t.Error("CheckNode accepted an out-of-range node")
+	}
+	if err := m.CheckNode(-1); err == nil {
+		t.Error("CheckNode accepted a negative node")
+	}
 }
 
 func TestDirectionEncoding(t *testing.T) {
