@@ -10,15 +10,20 @@
 //
 //	benchjson [-o BENCH_4.json] [-benchtime 2s] [-quick]
 //	          [-baseline BENCH_3.json|none] [-only substring]
-//	          [-max-allocs N] [-shards 0,4]
+//	          [-max-allocs N] [-shards 0,4] [-cpu N]
 //
 // With no -baseline, the highest-numbered BENCH_*.json in the current
 // directory (other than the -o target) is used when one exists.
 // -shards measures each figure benchmark at the listed engine shard
-// counts (0 = serial); every entry records the gomaxprocs and shard
-// setting it ran under, and the delta table warns when a baseline
-// entry was taken at a different setting instead of silently comparing
-// incomparable numbers.
+// counts (0 = serial, -1 = auto); every entry records the gomaxprocs
+// and shard setting it ran under, and the delta table warns when a
+// baseline entry was taken at a different setting instead of silently
+// comparing incomparable numbers. -cpu sets GOMAXPROCS for the whole
+// run; the report header records both it and the machine's NumCPU, so
+// a reader can tell a genuine multi-core measurement from one taken
+// on a single-core box. Measuring shards > 1 when either gomaxprocs
+// or numcpu is 1 earns a loud warning: the shard workers then
+// time-share one core, so such numbers show barrier overhead only.
 // -max-allocs turns the run into a regression gate: if any measured
 // benchmark allocates more than N allocations per op, benchjson exits
 // nonzero. CI runs one quick benchmark under a checked-in ceiling so a
@@ -73,8 +78,13 @@ type record struct {
 }
 
 type report struct {
-	Schema     string   `json:"schema"`
-	GoMaxProcs int      `json:"gomaxprocs"`
+	Schema     string `json:"schema"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// NumCPU is the machine's logical CPU count, independent of the
+	// gomaxprocs the run was paced at. A report with gomaxprocs > numcpu
+	// was recorded oversubscribed; one with numcpu = 1 cannot show
+	// multi-core speedup at all.
+	NumCPU     int      `json:"numcpu,omitempty"`
 	Benchmarks []record `json:"benchmarks"`
 }
 
@@ -90,16 +100,27 @@ func run() int {
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to print deltas against; default: highest-numbered in cwd; 'none' disables")
 	only := flag.String("only", "", "run only benchmarks whose name contains this substring")
 	maxAllocs := flag.Int64("max-allocs", 0, "fail (exit 1) if any benchmark exceeds this many allocs/op (0 disables)")
-	shardsFlag := flag.String("shards", "0", "comma-separated engine shard counts to measure (0 = serial engine; counts above 1 get a /shards=N name suffix)")
+	shardsFlag := flag.String("shards", "0", "comma-separated engine shard counts to measure (0 = serial engine, -1 = auto; non-serial counts get a /shards=N name suffix)")
+	cpu := flag.Int("cpu", 0, "set GOMAXPROCS for the run (0 keeps the environment's value)")
 	flag.Parse()
+	if *cpu > 0 {
+		runtime.GOMAXPROCS(*cpu)
+	}
 	var shardCounts []int
 	for _, s := range strings.Split(*shardsFlag, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 0 {
+		if err != nil || (n < 0 && n != sim.ShardsAuto) {
 			fmt.Fprintf(os.Stderr, "benchjson: bad -shards entry %q\n", s)
 			return 2
 		}
 		shardCounts = append(shardCounts, n)
+	}
+	if cores := min(runtime.GOMAXPROCS(0), runtime.NumCPU()); cores == 1 {
+		for _, n := range shardCounts {
+			if n > 1 {
+				fmt.Fprintf(os.Stderr, "benchjson: WARNING: measuring shards=%d with gomaxprocs=%d, numcpu=%d — the shard workers time-share one core, so these numbers show barrier overhead only; multi-core speedup cannot manifest. Re-run with -cpu N (N >= 2) on a multi-core machine for a meaningful measurement.\n", n, runtime.GOMAXPROCS(0), runtime.NumCPU())
+			}
+		}
 	}
 	if *quick {
 		*benchtime = "2x"
@@ -114,6 +135,7 @@ func run() int {
 	rep := report{
 		Schema:     "turnmodel-bench-v1: one op = one full simulation at the figure's load point",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	ran := 0
 	for _, fb := range figureBenches {
@@ -127,10 +149,12 @@ func run() int {
 		for _, alg := range f.Algs(t) {
 			for _, shards := range shardCounts {
 				name := fb.Name + "/" + alg.Name()
-				if shards > 1 {
-					// Serial entries keep their historical names so older
-					// baselines still match; sharded lines are distinct
-					// benchmarks with their own trajectory.
+				// Serial entries keep their historical names so older
+				// baselines still match; sharded and auto lines are
+				// distinct benchmarks with their own trajectory.
+				if shards == sim.ShardsAuto {
+					name += "/shards=auto"
+				} else if shards > 1 {
 					name += fmt.Sprintf("/shards=%d", shards)
 				}
 				if *only != "" && !strings.Contains(name, *only) {

@@ -39,7 +39,7 @@ func main() {
 	rate := flag.Float64("rate", 2, "fault onsets per 1000 cycles")
 	mttr := flag.Int64("mttr", 2000, "mean time to repair in cycles (0 = permanent faults)")
 	campaigns := flag.Int("campaigns", 4, "independent fault campaigns to run")
-	shards := flag.Int("shards", 0, "engine allocation shards (0 = serial; results identical)")
+	shards := flag.Int("shards", 0, "engine shards (0 = serial, -1 = auto from GOMAXPROCS and network size; results identical)")
 	recovery := flag.Int64("recovery", 512, "deadlock-recovery watchdog threshold in cycles (0 = recovery off)")
 	retries := flag.Int("retries", 8, "recovery retry budget per packet (negative = drop on first abort)")
 	backoff := flag.Int64("backoff", 0, "base retry backoff in cycles (0 = recovery threshold)")

@@ -42,7 +42,7 @@ func main() {
 	switching := flag.String("switching", "wormhole", "switching: wormhole, saf, vct")
 	misroute := flag.Int64("misroute", 0, "misroute patience in cycles (0 = relation as-is)")
 	delay := flag.Int64("delay", 0, "extra router decision delay in cycles")
-	shards := flag.Int("shards", 0, "engine allocation shards: split each cycle's allocation across this many goroutines (0 = serial; results identical)")
+	shards := flag.Int("shards", 0, "engine shards: split each cycle's parallelizable phases across this many goroutines (0 = serial, -1 = auto from GOMAXPROCS and network size; results identical)")
 	verbose := flag.Bool("v", false, "print percentiles and channel utilization")
 	record := flag.String("record", "", "record the workload to a trace file and exit (horizon = warmup+measure cycles)")
 	replay := flag.String("replay", "", "replay a recorded workload trace instead of generating traffic")

@@ -42,9 +42,15 @@ type Options struct {
 	// Workers × Shards from oversubscribing the machine.
 	Workers int
 	// Shards forwards sim.Config.Shards to every sweep simulation:
-	// the allocation phase of each cycle is split across that many
-	// worker goroutines inside the engine. 0 or 1 is serial. Results
-	// are bit-identical for any value.
+	// the parallelizable phases of each cycle are split across that
+	// many worker goroutines inside the engine. 0 or 1 is serial.
+	// sim.ShardsAuto (-1) resolves automatically — and at the sweep
+	// level auto prefers whole-simulation batching (full sweep
+	// parallelism, serial engines) whenever a sweep offers at least
+	// GOMAXPROCS independent simulations, because batching scales
+	// linearly with zero synchronization while per-engine sharding
+	// pays a phase barrier every cycle. Results are bit-identical for
+	// any value.
 	Shards int
 	// MetricsDir, when set, attaches a metrics collector to every
 	// simulation and writes a per-figure summary dump
@@ -68,6 +74,14 @@ type Options struct {
 }
 
 func (o Options) workers() int {
+	if o.Shards == sim.ShardsAuto {
+		// Unresolved auto: each engine may claim up to GOMAXPROCS
+		// shard workers of its own, so run one simulation at a time.
+		// The sweep entry points resolve auto via resolveShards before
+		// sizing their semaphores, so this branch is only a safety net
+		// for direct callers.
+		return 1
+	}
 	if o.Shards > 1 {
 		// Each leaf simulation runs o.Shards goroutines, so the sweep
 		// budget shrinks to keep Workers × Shards within GOMAXPROCS.
@@ -86,6 +100,31 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// resolveShards returns a copy of o with an auto shard request
+// (sim.ShardsAuto) resolved against the sweep's shape; leaves is the
+// number of independent leaf simulations about to run. Batching whole
+// simulations per core scales linearly with zero synchronization,
+// while per-engine sharding pays a phase barrier every cycle and
+// rarely clears a 1.2x speedup per added core — so auto keeps engines
+// serial whenever there are enough leaves to occupy the machine with
+// batching alone, and only falls back to per-engine auto shards
+// (resolved inside the engine) when the sweep is too small.
+func (o Options) resolveShards(leaves int) Options {
+	if o.Shards != sim.ShardsAuto {
+		return o
+	}
+	if leaves >= runtime.GOMAXPROCS(0) {
+		o.Shards = 0
+	}
+	return o
+}
+
+// figureLeaves counts the independent leaf simulations of a figure
+// sweep: one per (algorithm line, load point) pair.
+func figureLeaves(f FigureSpec, o Options) int {
+	return len(f.Algs(f.Topology())) * len(o.loads(f.Loads))
 }
 
 func (o Options) warmup() int64 {
@@ -221,6 +260,7 @@ func (s Sweep) MaxSustainable() (thr, load float64) {
 // Options.Workers; results are deterministic regardless (each point has
 // its own seeded generator).
 func RunSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Options) (Sweep, error) {
+	o = o.resolveShards(len(loads))
 	prog := newProgress(o, alg.Name(), len(loads))
 	return runSweep(alg, pat, loads, o, make(chan struct{}, o.workers()), prog)
 }
@@ -408,8 +448,12 @@ func RunFigure(f FigureSpec, o Options) ([]Sweep, error) {
 	s, cached := sweepCache[key]
 	sweepMu.Unlock()
 	if !cached {
+		// The cache key keeps the caller's (possibly auto) shard
+		// request; resolution only picks how the identical results are
+		// computed.
+		ro := o.resolveShards(figureLeaves(f, o))
 		var err error
-		s, err = runFigure(f, o, make(chan struct{}, o.workers()))
+		s, err = runFigure(f, ro, make(chan struct{}, ro.workers()))
 		if err != nil {
 			return nil, err
 		}
@@ -459,9 +503,17 @@ func runFigure(f FigureSpec, o Options, sem chan struct{}) ([]Sweep, error) {
 // RunFigure calls return instantly. Results are bit-identical to
 // sequential RunFigure calls.
 func PrefetchFigures(o Options, figs ...FigureSpec) error {
-	sem := make(chan struct{}, o.workers())
-	errs := make([]error, len(figs))
-	var wg sync.WaitGroup
+	// Collect the uncached figures first, so an auto shard request is
+	// resolved against the true amount of sweep-level parallelism
+	// available across every figure about to run. Cache keys keep the
+	// caller's original options.
+	type pending struct {
+		i   int
+		f   FigureSpec
+		key string
+	}
+	var todo []pending
+	leaves := 0
 	for i, f := range figs {
 		key := cacheKey(f, o)
 		sweepMu.Lock()
@@ -470,18 +522,26 @@ func PrefetchFigures(o Options, figs ...FigureSpec) error {
 		if cached {
 			continue
 		}
+		todo = append(todo, pending{i, f, key})
+		leaves += figureLeaves(f, o)
+	}
+	ro := o.resolveShards(leaves)
+	sem := make(chan struct{}, ro.workers())
+	errs := make([]error, len(figs))
+	var wg sync.WaitGroup
+	for _, p := range todo {
 		wg.Add(1)
-		go func(i int, f FigureSpec, key string) {
+		go func(p pending) {
 			defer wg.Done()
-			sweeps, err := runFigure(f, o, sem)
+			sweeps, err := runFigure(p.f, ro, sem)
 			if err != nil {
-				errs[i] = err
+				errs[p.i] = err
 				return
 			}
 			sweepMu.Lock()
-			sweepCache[key] = sweeps
+			sweepCache[p.key] = sweeps
 			sweepMu.Unlock()
-		}(i, f, key)
+		}(p)
 	}
 	wg.Wait()
 	for _, err := range errs {

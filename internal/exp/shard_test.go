@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+
+	"turnmodel/internal/sim"
 )
 
 // TestWorkerShardBudget: Workers and engine shards share one
@@ -26,6 +28,8 @@ func TestWorkerShardBudget(t *testing.T) {
 		{"explicit-over-budget-clamped", 8, 4, 2},
 		{"shards-exceed-procs", 0, 16, 1},
 		{"explicit-over-with-huge-shards", 6, 16, 1},
+		{"auto-unresolved", 0, sim.ShardsAuto, 1},
+		{"auto-unresolved-explicit-workers", 5, sim.ShardsAuto, 1},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			o := Options{Workers: tc.workers, Shards: tc.shards}
@@ -38,6 +42,50 @@ func TestWorkerShardBudget(t *testing.T) {
 				t.Errorf("budget violated: %d workers x %d shards > GOMAXPROCS 8", got, tc.shards)
 			}
 		})
+	}
+}
+
+// TestAutoShardResolution: an auto shard request resolves against the
+// sweep shape — whole-simulation batching (serial engines, full sweep
+// parallelism) when the sweep has at least GOMAXPROCS leaves, per-
+// engine auto shards otherwise.
+func TestAutoShardResolution(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+
+	o := Options{Shards: sim.ShardsAuto}
+	wide := o.resolveShards(48)
+	if wide.Shards != 0 {
+		t.Errorf("resolveShards(48 leaves) kept Shards %d, want 0 (batching)", wide.Shards)
+	}
+	if got := wide.workers(); got != 8 {
+		t.Errorf("batched auto workers() = %d, want GOMAXPROCS 8", got)
+	}
+	narrow := o.resolveShards(3)
+	if narrow.Shards != sim.ShardsAuto {
+		t.Errorf("resolveShards(3 leaves) = Shards %d, want %d (per-engine auto)", narrow.Shards, sim.ShardsAuto)
+	}
+	if got := narrow.workers(); got != 1 {
+		t.Errorf("per-engine auto workers() = %d, want 1", got)
+	}
+	explicit := Options{Shards: 4}.resolveShards(48)
+	if explicit.Shards != 4 {
+		t.Errorf("resolveShards must not touch explicit Shards, got %d", explicit.Shards)
+	}
+
+	f, ok := FigureByID("fig13")
+	if !ok {
+		t.Fatal("fig13 spec missing")
+	}
+	// fig13 quick: 4 algorithms x 5 loads = 20 leaves.
+	if got := figureLeaves(f, Options{Quick: true}); got != 20 {
+		t.Errorf("figureLeaves(fig13, quick) = %d, want 20", got)
+	}
+	base := Options{Quick: true, Seed: 7, Warmup: 800, Measure: 2400}
+	auto := base
+	auto.Shards = sim.ShardsAuto
+	if cacheKey(f, base) == cacheKey(f, auto) {
+		t.Fatal("cache key must distinguish auto shards from serial")
 	}
 }
 
@@ -70,6 +118,16 @@ func TestShardedFigureDeterminism(t *testing.T) {
 	}
 	if !reflect.DeepEqual(sweepsSer, sweepsShd) {
 		t.Fatalf("sharded sweep results diverge from serial:\nserial: %+v\nsharded: %+v", sweepsSer, sweepsShd)
+	}
+	auto := base
+	auto.Shards = sim.ShardsAuto
+	ra := auto.resolveShards(figureLeaves(f, auto))
+	sweepsAuto, err := runFigure(f, ra, make(chan struct{}, ra.workers()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sweepsSer, sweepsAuto) {
+		t.Fatal("auto-shard sweep results diverge from serial")
 	}
 	var bufSer, bufShd bytes.Buffer
 	WriteFigure(&bufSer, f, sweepsSer)

@@ -15,6 +15,16 @@ func (b bitset) set(i int32)      { b[i>>6] |= 1 << (uint(i) & 63) }
 func (b bitset) clear(i int32)    { b[i>>6] &^= 1 << (uint(i) & 63) }
 func (b bitset) get(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 
+// empty reports whether no bit is set.
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // setAll sets bits 0..n-1.
 func (b bitset) setAll(n int) {
 	for i := range b {

@@ -185,18 +185,21 @@ type Config struct {
 	// so a packet can never revisit a channel (Section 2).
 	MisrouteAfter int64
 
-	// Shards splits the allocation phase of every cycle across that many
+	// Shards splits the parallelizable phases of every cycle — the
+	// allocation propose (with the move pre-pass) and, where the
+	// schedule permits, the move-verdict propose — across that many
 	// worker goroutines (routers statically partitioned into contiguous
-	// shards). 0 or 1 runs serially, preserving today's single-threaded
-	// behavior exactly. Results are bit-identical for any value: workers
-	// only compute proposals into per-shard scratch, and a serial commit
-	// applies grants, worklist updates and observer events in ascending
-	// router order — the serial engine's order. Configurations whose
-	// allocation consumes the shared random stream in router-visit order
-	// (Input == RandomInput or Policy == RandomPolicy) silently fall
-	// back to serial execution, since any partition of those draws would
-	// change the stream. See DESIGN.md, "Deterministic sharded
-	// allocation".
+	// shards). 0 or 1 runs serially, preserving the single-threaded
+	// behavior exactly; ShardsAuto (-1) sizes the count automatically as
+	// min(GOMAXPROCS, routers/64). Results are bit-identical for any
+	// value, including auto: workers only compute proposals into
+	// per-shard scratch, and a serial commit applies grants, worklist
+	// updates, flit movement and observer events in the serial engine's
+	// order. Configurations whose allocation consumes the shared random
+	// stream in router-visit order (Input == RandomInput or Policy ==
+	// RandomPolicy) silently fall back to serial execution, since any
+	// partition of those draws would change the stream. See DESIGN.md,
+	// "Deterministic sharded execution".
 	Shards int
 
 	// StrictAdvance disables chained advance: by default (false) a
@@ -321,8 +324,8 @@ func (c *Config) withDefaults() (Config, error) {
 	if cfg.DeadlockThreshold == 0 {
 		cfg.DeadlockThreshold = 10000
 	}
-	if cfg.Shards < 0 {
-		return cfg, fmt.Errorf("sim: negative shard count %d", cfg.Shards)
+	if cfg.Shards < 0 && cfg.Shards != ShardsAuto {
+		return cfg, fmt.Errorf("sim: negative shard count %d (use %d for auto)", cfg.Shards, ShardsAuto)
 	}
 	if cfg.RecoveryThreshold < 0 {
 		return cfg, fmt.Errorf("sim: negative recovery threshold %d", cfg.RecoveryThreshold)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
@@ -179,6 +178,16 @@ type Engine struct {
 	shardLo     []int32
 	seedScratch []int32 // move seeding order buffer (vcs > 1)
 
+	// moveSharded marks engines whose move phase runs the parallel
+	// verdict propose (nshards > 1 and the schedule is predictable from
+	// start-of-phase state; see moveShardable). shardOf maps a router to
+	// its owning shard, for verdict lookups. mvOn is true while the
+	// current cycle's verdicts are valid — move() clears it when it
+	// skips the propose (nothing flowing), making stale memos unreadable.
+	moveSharded bool
+	shardOf     []int32
+	mvOn        bool
+
 	// lenStart snapshots each buffer's length at the start of the move
 	// phase (strict-advance mode only, nil otherwise). Sharded engines
 	// fill it in the parallel pre-pass — buffer lengths cannot change
@@ -192,13 +201,12 @@ type Engine struct {
 	// sharded pre-pass refreshes the bits for flowing inputs in parallel.
 	readyBits []bool
 
-	// Worker pool for sharded allocation: one goroutine per shard above
-	// zero (shard zero runs on the stepping goroutine), started lazily at
-	// the first sharded cycle and parked on poolStart between cycles.
-	// Close releases them; see shard.go.
-	poolOn    bool
-	poolStart []chan int32
-	poolWG    sync.WaitGroup
+	// gate coordinates the worker pool for sharded execution: one
+	// goroutine per shard above zero (shard zero runs on the stepping
+	// goroutine), started lazily at the first sharded cycle and parked
+	// on the gate between parallel regions. The pool stays warm across
+	// repeated runs; Close releases it. See shard.go.
+	gate *shardGate
 
 	// linkFlits counts flits carried per physical link during the
 	// measurement window, for utilization reporting.
@@ -826,6 +834,18 @@ func (e *Engine) move() {
 			e.lenStart[i] = int32(len(e.inbufs[i].q))
 		}
 	}
+	if e.moveSharded {
+		// Parallel verdict propose: each shard precomputes whether its
+		// flowing inputs' front flits leave this cycle. The serial drain
+		// below trusts those verdicts in place of the readiness and
+		// blocked-space checks; inputs the propose never saw (vUnknown)
+		// take the live-check path, so skipping the region when nothing
+		// is flowing is safe, not just fast.
+		e.mvOn = !e.flowing.empty()
+		if e.mvOn {
+			e.proposeMoves()
+		}
+	}
 	// inWork is all-false here: the previous drain popped (and cleared)
 	// every entry it pushed.
 	e.work = e.work[:0]
@@ -938,7 +958,24 @@ func (e *Engine) moveOne(in int32) {
 	if e.linkUsed[phys] {
 		return
 	}
-	if !e.readyToForward(in, b) {
+	if e.mvOn {
+		// The propose phase already folded readiness and the space fixed
+		// point into one verdict. vNo exits before any state is touched
+		// — exactly where the serial checks would have given up — and
+		// vYes skips the store-and-forward tail scan; the live space
+		// check below still times the move correctly within the cascade
+		// schedule (a vYes move into a still-full buffer waits for the
+		// cascade retry, as the serial engine's would).
+		switch e.verdictFor(in) {
+		case vNo:
+			return
+		case vYes:
+		default:
+			if !e.readyToForward(in, b) {
+				return
+			}
+		}
+	} else if !e.readyToForward(in, b) {
 		return
 	}
 	f := b.q[0]

@@ -16,8 +16,8 @@ import (
 // with full accounting in Result. See DESIGN.md, "Deadlock recovery".
 //
 // Recovery runs in the serial pre-generate phase of step, so it is
-// shard-safe by construction: shard workers only exist inside the
-// allocation phase.
+// shard-safe by construction: shard workers only run inside the
+// allocate and move propose regions, both later in the cycle.
 
 // retryEntry is one aborted packet waiting out its backoff.
 type retryEntry struct {

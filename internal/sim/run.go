@@ -160,11 +160,14 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer e.Close() // release the shard workers, if any were started
 	return e.run(), nil
 }
 
 func (e *Engine) run() Result {
-	defer e.Close()         // park the shard workers, if any were started
+	// The engine's owner closes the worker pool: run itself leaves it
+	// warm, so an engine driven through multiple runs or step sequences
+	// reuses the same goroutines instead of respawning them per run.
 	defer e.restoreFaults() // heal whatever the fault plan left disabled
 	res := Result{
 		Algorithm:   e.alg.Name(),

@@ -1,30 +1,182 @@
 package sim
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"turnmodel/internal/routing"
 	"turnmodel/internal/topology"
 )
 
-// This file implements the deterministic sharded allocation phase:
-// Config.Shards > 1 partitions the routers into contiguous shards and
-// runs allocateRouter for each shard on its own worker goroutine.
-// Allocation is router-local — a router only ever grants its own
-// outputs and touches its own input buffers and metrics counters — so
-// the only cross-shard state is the worklist bitsets (shared 64-bit
-// words span shard boundaries), the observer callback order, and the
-// shared random stream. The first two are deferred into per-shard logs
-// and committed serially in ascending shard order, which is exactly
-// the serial engine's ascending-router order, so results are
-// bit-identical; configurations that consume the random stream during
-// allocation (RandomInput, RandomPolicy) fall back to serial execution
-// (see initShards). DESIGN.md, "Deterministic sharded allocation",
-// derives the invariants.
+// This file implements the deterministic sharded phases: Config.Shards
+// > 1 partitions the routers into contiguous shards and runs the two
+// parallelizable per-cycle regions — allocation propose (plus the move
+// pre-pass) and the move-verdict propose — on a persistent worker pool,
+// one goroutine per shard. Both regions follow the same discipline:
+// workers only read shared engine state and write per-shard scratch,
+// and a serial commit applies every shared mutation, observer callback
+// and metric in the serial engine's order, so results are bit-identical
+// at any shard count. Configurations that consume the random stream
+// during allocation (RandomInput, RandomPolicy) fall back to serial
+// execution (see initShards); configurations whose move schedule cannot
+// be predicted from start-of-phase state (multiple virtual channels,
+// chained store-and-forward) keep the move propose off and run the
+// serial move phase unchanged (see moveShardable). DESIGN.md,
+// "Deterministic sharded execution", derives the invariants.
 
-// allocState is one shard's allocation scratch: the reusable buffers
+// ShardsAuto is the Config.Shards value that sizes the shard count
+// automatically: min(GOMAXPROCS, routers/64), at least one. The /64
+// floor keeps shards coarse enough that the per-cycle barrier cost is
+// amortized over a useful amount of per-shard work.
+const ShardsAuto = -1
+
+// Gate phase tags: which parallel region a release starts.
+const (
+	phaseExit  int32 = -1 // workers return (Close)
+	phaseAlloc int32 = 0  // allocation propose + move pre-pass
+	phaseMove  int32 = 1  // move-verdict propose
+)
+
+// Move-verdict memo states. vUnknown entries were never evaluated by
+// the propose phase (the input was not flowing when it ran); the
+// commit falls back to the serial live checks for them, so a skipped
+// or partial propose degrades to exact serial behavior, never to a
+// wrong result.
+const (
+	vUnknown int8 = iota
+	vInProgress
+	vYes
+	vNo
+)
+
+// shardGate is the per-cycle barrier between the stepping goroutine
+// (the coordinator, which doubles as shard zero's worker) and the
+// shard workers. It replaces the previous per-cycle channel round
+// trips with a sense-reversing spin/park protocol:
+//
+//   - Release: the coordinator publishes the phase tag and fault epoch,
+//     resets the outstanding-worker count, then bumps seq. Workers spin
+//     on seq briefly and park on a condvar when the release doesn't
+//     arrive in time; the coordinator always broadcasts under the
+//     mutex, and parked workers re-check seq under the same mutex, so
+//     a wake-up can never be missed.
+//   - Join: each worker decrements done; the last one signals the
+//     coordinator if (and only if) it observes the coordinator's
+//     parked marker and wins the CompareAndSwap that clears it. The
+//     coordinator spins on done, then publishes the marker, re-checks
+//     done, and either un-publishes the marker itself or receives the
+//     signal — both sides race through the same CAS, so exactly one
+//     of them consumes each park. The marker is the region's sequence
+//     number, not a boolean: a straggling finish from region N that
+//     executes its CAS inside region N+1's park window must not be
+//     able to deposit a bogus wake-up, and CAS(N -> 0) cannot match a
+//     marker holding N+1.
+//
+// All atomics are sequentially consistent, which is what makes the
+// marker/count re-check pairs race-free. The spin budget is zero when
+// GOMAXPROCS is 1: spinning can only steal time from the goroutine
+// that would satisfy the wait.
+type shardGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	seq   atomic.Uint64 // release sequence number, starts at 1
+	phase atomic.Int32  // region to run, published before seq
+	epoch atomic.Int32  // fault epoch argument (phaseAlloc)
+	done  atomic.Int32  // workers still inside the current region
+
+	parked atomic.Uint64 // region seq the coordinator parked in, 0 = none
+	joinCh chan struct{} // buffered(1): last worker -> coordinator
+
+	spin int            // spin iterations before parking
+	wg   sync.WaitGroup // worker lifetime, for Close
+}
+
+func newShardGate(workers int) *shardGate {
+	g := &shardGate{joinCh: make(chan struct{}, 1)}
+	g.cond = sync.NewCond(&g.mu)
+	if runtime.GOMAXPROCS(0) > 1 {
+		g.spin = 4096
+	}
+	g.wg.Add(workers)
+	return g
+}
+
+// release starts one parallel region on every worker.
+func (g *shardGate) release(ph, epoch, workers int32) {
+	g.phase.Store(ph)
+	g.epoch.Store(epoch)
+	g.done.Store(workers)
+	g.seq.Add(1)
+	g.mu.Lock()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// awaitRelease blocks a worker until the release after last, returning
+// the new sequence number.
+func (g *shardGate) awaitRelease(last uint64) uint64 {
+	for i := 0; i < g.spin; i++ {
+		if s := g.seq.Load(); s != last {
+			return s
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	g.mu.Lock()
+	for g.seq.Load() == last {
+		g.cond.Wait()
+	}
+	s := g.seq.Load()
+	g.mu.Unlock()
+	return s
+}
+
+// finish marks the calling worker done with region seq and wakes the
+// coordinator if it parked in that same region and this was the last
+// worker. The seq match is what keeps a straggling finish — preempted
+// here after its decrement, resuming cycles later — from consuming a
+// later region's park.
+func (g *shardGate) finish(seq uint64) {
+	if g.done.Add(-1) == 0 {
+		if g.parked.CompareAndSwap(seq, 0) {
+			g.joinCh <- struct{}{}
+		}
+	}
+}
+
+// awaitDone blocks the coordinator until every worker finished the
+// current region.
+func (g *shardGate) awaitDone() {
+	for i := 0; i < g.spin; i++ {
+		if g.done.Load() == 0 {
+			return
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	seq := g.seq.Load() // only the coordinator bumps seq: this is current
+	g.parked.Store(seq)
+	if g.done.Load() == 0 {
+		// The workers may all have finished before the marker was
+		// visible. Whoever wins the CAS owns the park: winning here
+		// means no worker signalled (or will), losing means the signal
+		// is in flight.
+		if g.parked.CompareAndSwap(seq, 0) {
+			return
+		}
+	}
+	<-g.joinCh
+}
+
+// allocState is one shard's scratch: the reusable buffers
 // allocateRouter needs plus, when deferred commits are on, the logs the
-// serial commit replays. A serial engine owns a single allocState with
-// deferred == false, in which case setFlowing and observeAllocate
-// apply immediately and the logs stay empty.
+// serial commit replays and the move-verdict memo. A serial engine owns
+// a single allocState with deferred == false, in which case setFlowing
+// and observeAllocate apply immediately and the logs stay empty.
 type allocState struct {
 	deferred bool
 
@@ -39,6 +191,14 @@ type allocState struct {
 	flowSets     []int32      // inputs to mark flowing
 	clearRouters []int32      // routers to drop from the allocation worklist
 	events       []allocEvent // observer Allocate calls, in grant order
+
+	// Move-verdict memo (moveShardable engines only): one entry per
+	// input buffer, reset lazily via mvTouched at the start of each
+	// propose. Each shard owns a full-size memo — chain walks cross
+	// shard boundaries read-only, so shards memoize foreign inputs
+	// privately rather than sharing words.
+	mvVerdict []int8
+	mvTouched []int32
 }
 
 // allocEvent is one deferred Observer.Allocate call.
@@ -72,14 +232,46 @@ func (st *allocState) observeAllocate(e *Engine, at topology.NodeID, dir topolog
 	e.cfg.Observer.Allocate(e.cycle, at, dir, vc, eject)
 }
 
+// moveShardable reports whether the move phase's outcome can be
+// predicted per input from start-of-phase state, the precondition for
+// the parallel verdict propose:
+//
+//   - One virtual channel per direction: each physical link then has a
+//     single possible holder, so link arbitration degenerates to "did
+//     this input already move", and every input buffer has exactly one
+//     feeder — the dependency graph is a set of disjoint chains whose
+//     fixed point the propose can evaluate.
+//   - Store-and-forward only under StrictAdvance: chained
+//     store-and-forward readiness can flip mid-drain when a cascade
+//     retry lands after a same-cycle tail arrival, which only a full
+//     schedule replay could predict. Strict mode runs a single
+//     descending pass, where a same-cycle tail is visible exactly when
+//     the feeder's index is higher than the receiver's.
+func (e *Engine) moveShardable() bool {
+	if e.vcs != 1 {
+		return false
+	}
+	if e.cfg.holdsWholePacket() && !e.cfg.StrictAdvance {
+		return false
+	}
+	return true
+}
+
 // initShards resolves the configured shard count and builds the
-// per-shard scratch. The effective count is clamped to the router
-// count, and configurations whose allocation consumes the shared
-// random stream per visited router (RandomInput arbitration,
-// RandomPolicy output selection) force serial execution: any partition
-// of those draws would reorder the stream and change results.
+// per-shard scratch. ShardsAuto picks min(GOMAXPROCS, routers/64); the
+// effective count is clamped to the router count, and configurations
+// whose allocation consumes the shared random stream per visited router
+// (RandomInput arbitration, RandomPolicy output selection) force serial
+// execution: any partition of those draws would reorder the stream and
+// change results.
 func (e *Engine) initShards(n, ndim2 int) {
 	ns := e.cfg.Shards
+	if ns == ShardsAuto {
+		ns = runtime.GOMAXPROCS(0)
+		if coarse := n / 64; ns > coarse {
+			ns = coarse
+		}
+	}
 	if ns > n {
 		ns = n
 	}
@@ -112,21 +304,42 @@ func (e *Engine) initShards(n, ndim2 int) {
 		if e.cfg.holdsWholePacket() {
 			e.readyBits = make([]bool, n*e.vport)
 		}
+		if e.moveShardable() {
+			e.moveSharded = true
+			e.shardOf = make([]int32, n)
+			for s := 0; s < ns; s++ {
+				for v := e.shardLo[s]; v < e.shardLo[s+1]; v++ {
+					e.shardOf[v] = int32(s)
+				}
+			}
+			for s := range e.shards {
+				e.shards[s].mvVerdict = make([]int8, n*e.vport)
+			}
+		}
 	}
+}
+
+// runRegion runs one parallel region across the pool: release the
+// workers, run shard zero's slice on the calling (stepping) goroutine,
+// and join. The pool is started lazily at the first sharded cycle and
+// stays warm until Close.
+func (e *Engine) runRegion(ph, epoch int32) {
+	if e.gate == nil {
+		e.startPool()
+	}
+	e.gate.release(ph, epoch, int32(e.nshards-1))
+	if ph == phaseAlloc {
+		e.runShard(0, epoch)
+	} else {
+		e.runMoveShard(0)
+	}
+	e.gate.awaitDone()
 }
 
 // allocateSharded runs one allocation phase across the worker pool:
 // propose in parallel, commit serially.
 func (e *Engine) allocateSharded(epoch int32) {
-	if !e.poolOn {
-		e.startPool()
-	}
-	e.poolWG.Add(e.nshards - 1)
-	for s := 1; s < e.nshards; s++ {
-		e.poolStart[s] <- epoch
-	}
-	e.runShard(0, epoch)
-	e.poolWG.Wait()
+	e.runRegion(phaseAlloc, epoch)
 	// Serial commit. Ascending shard order is ascending router order
 	// (shards are contiguous), so worklist updates and observer events
 	// replay exactly as the serial engine would have produced them.
@@ -185,37 +398,162 @@ func (e *Engine) runShard(s int, epoch int32) {
 	}
 }
 
-// startPool launches the worker goroutines for shards 1..nshards-1
-// (shard zero runs on the stepping goroutine). Each worker parks on
-// its start channel between cycles; the channel send publishes the
-// fault epoch and everything the stepping goroutine wrote before it.
-func (e *Engine) startPool() {
-	e.poolStart = make([]chan int32, e.nshards)
-	for s := 1; s < e.nshards; s++ {
-		ch := make(chan int32, 1)
-		e.poolStart[s] = ch
-		go func(s int, ch chan int32) {
-			for epoch := range ch {
-				e.runShard(s, epoch)
-				e.poolWG.Done()
-			}
-		}(s, ch)
+// proposeMoves runs the move-verdict region: every shard computes, for
+// its flowing inputs, whether the front flit will leave this cycle.
+// The region is read-only on shared state — each shard memoizes into
+// its own verdict array, including for cross-shard chain nodes — and
+// runs after the allocation commit, so it sees this cycle's grants.
+func (e *Engine) proposeMoves() {
+	e.runRegion(phaseMove, 0)
+}
+
+// runMoveShard computes shard s's slice of the move verdicts.
+func (e *Engine) runMoveShard(s int) {
+	st := &e.shards[s]
+	for _, i := range st.mvTouched {
+		st.mvVerdict[i] = vUnknown
 	}
-	e.poolOn = true
+	st.mvTouched = st.mvTouched[:0]
+	inLo := int32(int(e.shardLo[s]) * e.vport)
+	inHi := int32(int(e.shardLo[s+1]) * e.vport)
+	e.flowing.forEachIn(inLo, inHi, func(in int32) {
+		e.moveVerdict(st, in)
+	})
+}
+
+// moveVerdict resolves (and memoizes) whether input in's front flit
+// leaves its buffer this cycle, assuming start-of-move-phase state.
+// Chain walks may cross shard boundaries; they only read shared state
+// and write the calling shard's memo.
+func (e *Engine) moveVerdict(st *allocState, in int32) int8 {
+	switch st.mvVerdict[in] {
+	case vYes, vNo:
+		return st.mvVerdict[in]
+	case vInProgress:
+		// Dependency cycle: a ring of full buffers each waiting for the
+		// next to pop. No first pop can ever happen (every member is
+		// blocked, and retries fire only on a pop inside the ring), so
+		// nothing in the ring moves this cycle — the serial engine's
+		// deadlock-ring outcome.
+		return vNo
+	}
+	st.mvVerdict[in] = vInProgress
+	st.mvTouched = append(st.mvTouched, in)
+	v := e.moveVerdictEval(st, in)
+	st.mvVerdict[in] = v
+	return v
+}
+
+// moveVerdictEval is moveVerdict's uncached body: the fixed-point rules
+// that predict the serial move phase's outcome for one input. The
+// determinism argument lives in DESIGN.md, "Sharding the move phase";
+// in short, with one virtual channel every buffer has a unique feeder
+// and every link a unique holder, so whether an input moves depends
+// only on its own readiness and on whether its destination buffer has
+// — or makes — space, never on how the serial worklist interleaves
+// unrelated inputs.
+func (e *Engine) moveVerdictEval(st *allocState, in int32) int8 {
+	b := &e.inbufs[in]
+	if len(b.q) == 0 || b.allocOut < 0 {
+		return vNo
+	}
+	if e.cfg.holdsWholePacket() && int(b.port) != e.vport-1 {
+		// Store-and-forward readiness. Sharded move requires
+		// StrictAdvance here (see moveShardable), so the phase is a
+		// single descending-index pass with no retries: a tail that
+		// arrives this cycle is visible to in exactly when the feeder's
+		// index is higher than in's — the feeder then moved first.
+		if !(e.readyBits != nil && e.readyBits[in]) && !e.tailAtFront(b) {
+			up := e.upOut[in]
+			if up < 0 {
+				return vNo
+			}
+			f := e.busyBy[up]
+			if f <= in {
+				return vNo
+			}
+			fb := &e.inbufs[f]
+			if len(fb.q) == 0 || !fb.q[0].tail || fb.q[0].p != b.q[0].p {
+				return vNo
+			}
+			if e.moveVerdict(st, f) != vYes {
+				return vNo
+			}
+		}
+	}
+	dest := e.outDest[b.allocOut]
+	if dest < 0 {
+		// Ejection: the processor consumes immediately, and the
+		// ejection channel's only possible holder is this input.
+		return vYes
+	}
+	if e.cfg.StrictAdvance {
+		// Only space present at the start of the cycle counts, and the
+		// destination's unique feeder is this input, so the snapshot is
+		// the whole answer.
+		if int(e.lenStart[dest]) < e.depth {
+			return vYes
+		}
+		return vNo
+	}
+	if len(e.inbufs[dest].q) < e.depth {
+		return vYes
+	}
+	// Chained advance into a full buffer: the move happens iff the
+	// destination's own front flit leaves this cycle (the cascade retry
+	// then lands this input's flit in the freed slot).
+	return e.moveVerdict(st, dest)
+}
+
+// verdictFor returns input in's move verdict from its owning shard's
+// memo. vUnknown means the propose never evaluated it (the input was
+// not flowing then — e.g. a bubble-collapse mover whose flit arrived
+// mid-drain); the caller falls back to the serial live checks.
+func (e *Engine) verdictFor(in int32) int8 {
+	return e.shards[e.shardOf[int(in)/e.vport]].mvVerdict[in]
+}
+
+// startPool launches the worker goroutines for shards 1..nshards-1
+// (shard zero runs on the stepping goroutine). Workers park on the
+// gate between regions; the pool stays warm across the engine's whole
+// life — repeated run/step sequences reuse it — until Close.
+func (e *Engine) startPool() {
+	e.gate = newShardGate(e.nshards - 1)
+	for s := 1; s < e.nshards; s++ {
+		go e.shardWorker(s)
+	}
+}
+
+// shardWorker is the loop of one pool goroutine: wait for a release,
+// run the published region's slice, report done; exit on phaseExit.
+func (e *Engine) shardWorker(s int) {
+	g := e.gate
+	defer g.wg.Done()
+	last := uint64(0)
+	for {
+		last = g.awaitRelease(last)
+		switch g.phase.Load() {
+		case phaseAlloc:
+			e.runShard(s, g.epoch.Load())
+		case phaseMove:
+			e.runMoveShard(s)
+		default:
+			return
+		}
+		g.finish(last)
+	}
 }
 
 // Close releases the shard worker goroutines. It is a no-op for serial
-// engines and engines that never stepped; Run calls it on exit. Tests
-// that drive a sharded engine through step directly should defer it.
-// The engine remains usable after Close — the next sharded cycle
-// restarts the pool.
+// engines and engines that never stepped; Run (the package function)
+// closes the engine it creates. Tests that drive a sharded engine
+// through step directly should defer it. The engine remains usable
+// after Close — the next sharded cycle restarts the pool.
 func (e *Engine) Close() {
-	if !e.poolOn {
+	if e.gate == nil {
 		return
 	}
-	for s := 1; s < e.nshards; s++ {
-		close(e.poolStart[s])
-	}
-	e.poolStart = nil
-	e.poolOn = false
+	e.gate.release(phaseExit, 0, 0)
+	e.gate.wg.Wait()
+	e.gate = nil
 }

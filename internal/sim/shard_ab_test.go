@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"runtime"
 	"testing"
 
 	"turnmodel/internal/fault"
@@ -87,6 +88,60 @@ func TestShardABDeterminism(t *testing.T) {
 				WarmupCycles:  500,
 				MeasureCycles: 1500,
 				Seed:          11,
+			}
+		})
+	})
+	// Deep wormhole buffers under heavy load keep chains of full buffers
+	// alive, exercising the move-verdict fixed point's full-buffer
+	// recursion (and, transiently, its cycle cut).
+	t.Run("wormhole-deep-buffers", func(t *testing.T) {
+		runShardAB(t, func() Config {
+			topo := topology.NewMesh(8, 8)
+			return Config{
+				Algorithm:     routing.NewWestFirst(topo),
+				Pattern:       traffic.NewMeshTranspose(topo),
+				OfferedLoad:   6.0,
+				BufferDepth:   4,
+				Lengths:       []int{8, 20},
+				WarmupCycles:  500,
+				MeasureCycles: 1500,
+				Seed:          21,
+			}
+		})
+	})
+	// Virtual cut-through: whole-packet buffers without the
+	// store-and-forward hold, so the sharded move phase stays on for the
+	// chained schedule.
+	t.Run("virtual-cut-through-chained", func(t *testing.T) {
+		runShardAB(t, func() Config {
+			topo := topology.NewMesh(6, 6)
+			return Config{
+				Algorithm:     routing.NewNorthLast(topo),
+				Pattern:       traffic.NewUniform(topo),
+				OfferedLoad:   3.5,
+				Lengths:       []int{4, 10},
+				Switching:     VirtualCutThrough,
+				WarmupCycles:  500,
+				MeasureCycles: 1500,
+				Seed:          19,
+			}
+		})
+	})
+	// Chained store-and-forward keeps the serial move phase (readiness
+	// can flip mid-drain, so no verdict propose runs) while allocation
+	// still shards — the A/B guarantee must hold across that split too.
+	t.Run("store-and-forward-chained", func(t *testing.T) {
+		runShardAB(t, func() Config {
+			topo := topology.NewMesh(6, 6)
+			return Config{
+				Algorithm:     routing.NewWestFirst(topo),
+				Pattern:       traffic.NewUniform(topo),
+				OfferedLoad:   2.0,
+				Lengths:       []int{6, 12},
+				Switching:     StoreAndForward,
+				WarmupCycles:  500,
+				MeasureCycles: 1500,
+				Seed:          23,
 			}
 		})
 	})
@@ -274,6 +329,148 @@ func TestShardPartition(t *testing.T) {
 	}
 }
 
+// TestShardAutoResolve: Shards = ShardsAuto sizes the pool as
+// min(GOMAXPROCS, routers/64), and an auto-sharded run is bit-identical
+// to serial like any other shard count.
+func TestShardAutoResolve(t *testing.T) {
+	mk := func(shards int) Config {
+		topo := topology.NewMesh(16, 16)
+		return Config{
+			Algorithm:     routing.NewWestFirst(topo),
+			Pattern:       traffic.NewUniform(topo),
+			OfferedLoad:   2.0,
+			WarmupCycles:  200,
+			MeasureCycles: 600,
+			Seed:          29,
+			Shards:        shards,
+		}
+	}
+	e, err := New(mk(ShardsAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	want := runtime.GOMAXPROCS(0)
+	if coarse := 256 / 64; want > coarse {
+		want = coarse
+	}
+	if want < 1 {
+		want = 1
+	}
+	if e.nshards != want {
+		t.Fatalf("auto shards resolved to %d, want %d (GOMAXPROCS=%d)", e.nshards, want, runtime.GOMAXPROCS(0))
+	}
+	// A small mesh is coarser than one shard per 64 routers: auto falls
+	// back to serial rather than paying the barrier for tiny slices.
+	small, err := New(Config{
+		Algorithm:     routing.NewWestFirst(topology.NewMesh(4, 4)),
+		Pattern:       traffic.NewUniform(topology.NewMesh(4, 4)),
+		OfferedLoad:   1.0,
+		WarmupCycles:  1,
+		MeasureCycles: 1,
+		Shards:        ShardsAuto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer small.Close()
+	if small.nshards != 1 {
+		t.Fatalf("auto shards on a 16-router mesh resolved to %d, want 1", small.nshards)
+	}
+	serial, err := Run(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Run(mk(ShardsAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto != serial {
+		t.Errorf("auto-sharded results differ:\n serial: %+v\n auto: %+v", serial, auto)
+	}
+}
+
+// TestShardMoveEligibility: the move-verdict propose runs exactly for
+// the schedules it can predict — one virtual channel, and
+// store-and-forward only under strict advance.
+func TestShardMoveEligibility(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	mk := func(mut func(*Config)) *Engine {
+		cfg := Config{
+			Algorithm:     routing.NewWestFirst(topo),
+			Pattern:       traffic.NewUniform(topo),
+			OfferedLoad:   1.0,
+			WarmupCycles:  1,
+			MeasureCycles: 1,
+			Shards:        4,
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		return e
+	}
+	if e := mk(nil); !e.moveSharded {
+		t.Error("wormhole single-VC engine did not enable the sharded move phase")
+	}
+	if e := mk(func(c *Config) { c.Switching = StoreAndForward }); e.moveSharded {
+		t.Error("chained store-and-forward engine enabled the sharded move phase")
+	}
+	if e := mk(func(c *Config) { c.Switching = StoreAndForward; c.StrictAdvance = true }); !e.moveSharded {
+		t.Error("strict store-and-forward engine did not enable the sharded move phase")
+	}
+	if e := mk(func(c *Config) {
+		c.Algorithm = nil
+		c.VCAlgorithm = routing.NewDatelineDOR(topology.NewTorus(8, 2))
+		c.Pattern = traffic.NewUniform(topology.NewTorus(8, 2))
+	}); e.moveSharded {
+		t.Error("multi-VC engine enabled the sharded move phase")
+	}
+	if e := mk(func(c *Config) { c.Shards = 0 }); e.moveSharded {
+		t.Error("serial engine enabled the sharded move phase")
+	}
+}
+
+// TestShardGateStress hammers the spin/park barrier: a small mesh gives
+// each region almost no work, so cycles degenerate into barrier
+// traffic, and thousands of them probe the release/join windows (the
+// straggling-finish case needs a preemption landing inside a later
+// region's park). Run under -race this is the gate's main correctness
+// test; the step loop also re-closes and restarts the pool mid-run to
+// cover the warm-pool lifecycle.
+func TestShardGateStress(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	e, err := New(Config{
+		Algorithm:     routing.NewWestFirst(topo),
+		Pattern:       traffic.NewUniform(topo),
+		OfferedLoad:   1.5,
+		WarmupCycles:  1 << 30,
+		MeasureCycles: 1,
+		Seed:          31,
+		Shards:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 12000; i++ {
+		if i == 6000 {
+			// Mid-run Close: the next sharded cycle must transparently
+			// restart the pool with a fresh gate.
+			e.Close()
+		}
+		e.step()
+		e.cycle++
+	}
+	if e.stats.totalDeliveredEver == 0 {
+		t.Fatal("no deliveries; stress would be vacuous")
+	}
+}
+
 // TestShardABDeterminismUnderFault: a channel failure mid-run triggers
 // the fault-epoch rescan and route-table recompile inside the sharded
 // allocate; the propose/commit split must still agree with the serial
@@ -332,6 +529,55 @@ func TestShardABDeterminismUnderFault(t *testing.T) {
 				t.Fatalf("shards=%d delivery %d differs: serial %+v, sharded %+v",
 					shardCounts[i], j, events[0][j], events[i][j])
 			}
+		}
+	}
+}
+
+// TestShardScalingSmoke: a genuine multi-core shard run — workers on
+// distinct cores, not time-sharing one — stays bit-identical to the
+// serial engine. This is the only test in the suite that requires
+// real parallelism, so it skips on single-core machines rather than
+// silently degrading into another gomaxprocs=1 run. It deliberately
+// asserts identity, not speedup: CI boxes are too noisy for timing
+// thresholds, and the determinism contract is the part a scheduling
+// change can silently break.
+func TestShardScalingSmoke(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skipf("NumCPU=%d: multi-core scheduling cannot occur", runtime.NumCPU())
+	}
+	procs := runtime.NumCPU()
+	if procs > 4 {
+		procs = 4
+	}
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	mk := func() Config {
+		topo := topology.NewMesh(16, 16)
+		return Config{
+			Algorithm:     routing.NewNorthLast(topo),
+			Pattern:       traffic.NewUniform(topo),
+			OfferedLoad:   2.0,
+			WarmupCycles:  500,
+			MeasureCycles: 3000,
+			Lengths:       []int{4, 12},
+			Seed:          29,
+		}
+	}
+	serial := mk()
+	want, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, ShardsAuto} {
+		cfg := mk()
+		cfg.Shards = shards
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("shards=%d at GOMAXPROCS=%d diverges from serial:\n serial: %+v\n sharded: %+v",
+				shards, procs, want, got)
 		}
 	}
 }
