@@ -115,10 +115,13 @@ func run() int {
 		}
 		shardCounts = append(shardCounts, n)
 	}
+	// One warning per invocation, not one per shard entry: the problem
+	// is the machine configuration, not any individual count.
 	if cores := min(runtime.GOMAXPROCS(0), runtime.NumCPU()); cores == 1 {
 		for _, n := range shardCounts {
 			if n > 1 {
 				fmt.Fprintf(os.Stderr, "benchjson: WARNING: measuring shards=%d with gomaxprocs=%d, numcpu=%d — the shard workers time-share one core, so these numbers show barrier overhead only; multi-core speedup cannot manifest. Re-run with -cpu N (N >= 2) on a multi-core machine for a meaningful measurement.\n", n, runtime.GOMAXPROCS(0), runtime.NumCPU())
+				break
 			}
 		}
 	}
@@ -208,7 +211,12 @@ func run() int {
 		return 2
 	}
 
-	if base := loadBaseline(*baseline, *out); base != nil {
+	base, err := loadBaseline(*baseline, *out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		return 2
+	}
+	if base != nil {
 		printDeltas(os.Stderr, base, &rep)
 	}
 
@@ -243,16 +251,17 @@ func run() int {
 
 var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 
-// loadBaseline resolves and parses the comparison report. An explicit
-// path must load; the automatic pick (the highest-numbered BENCH_*.json
-// in the current directory, excluding the file this run writes) is
-// best-effort and returns nil when nothing usable exists.
-func loadBaseline(path, out string) *report {
+// loadBaseline resolves and parses the comparison report. No baseline
+// at all — "none", or no BENCH_*.json to auto-pick — returns (nil,
+// nil); but a baseline that was named (explicitly or by the automatic
+// highest-numbered pick, excluding the file this run writes) and then
+// fails to read or parse is an error, not a silent skip: deltas the
+// caller asked for would otherwise just vanish from the output.
+func loadBaseline(path, out string) (*report, error) {
 	if path == "none" {
-		return nil
+		return nil, nil
 	}
-	explicit := path != ""
-	if !explicit {
+	if path == "" {
 		best := -1
 		matches, _ := filepath.Glob("BENCH_*.json")
 		for _, m := range matches {
@@ -265,27 +274,19 @@ func loadBaseline(path, out string) *report {
 			}
 		}
 		if best < 0 {
-			return nil
+			return nil, nil
 		}
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
-		if explicit {
-			os.Exit(2)
-		}
-		return nil
+		return nil, err
 	}
 	var rep report
 	if err := json.Unmarshal(data, &rep); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", path, err)
-		if explicit {
-			os.Exit(2)
-		}
-		return nil
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: deltas vs %s\n", path)
-	return &rep
+	return &rep, nil
 }
 
 // effGoMaxProcs resolves a record's gomaxprocs, falling back to the

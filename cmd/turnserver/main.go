@@ -1,0 +1,97 @@
+// Command turnserver runs the figure harness as a long-lived HTTP
+// service: clients POST simulation jobs, stream per-leaf progress over
+// Server-Sent Events, and fetch results that are byte-identical to the
+// in-process `experiments` output. Identical submissions are
+// content-addressed onto one job and repeat configurations are served
+// from the in-memory sweep cache without re-running a single
+// simulation.
+//
+// Start it, then drive it with curl:
+//
+//	turnserver -addr :8080 &
+//
+//	# Submit a quick Figure 13 sweep (202, or 200 if already known).
+//	curl -s localhost:8080/v1/jobs -d '{"figure":"fig13","quick":true}'
+//
+//	# Follow progress live; the stream ends with the result JSON.
+//	curl -N localhost:8080/v1/jobs/<id>/stream
+//
+//	# Or poll, then fetch the finished figure.
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -s localhost:8080/v1/jobs/<id>/result
+//
+//	# Cancel, list, scrape.
+//	curl -s -X DELETE localhost:8080/v1/jobs/<id>
+//	curl -s localhost:8080/v1/jobs
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drains cleanly: admission stops, running jobs are
+// canceled at their next poll, and the HTTP listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"turnmodel/internal/metrics"
+	"turnmodel/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	queue := flag.Int("queue", 16, "admission queue depth (beyond it submissions get 429)")
+	jobs := flag.Int("jobs", 1, "jobs run concurrently (each fans out across the worker budget)")
+	workers := flag.Int("workers", 0, "total leaf-simulation worker budget shared by running jobs (0 = GOMAXPROCS)")
+	quiet := flag.Bool("quiet", false, "suppress the per-request access log")
+	flag.Parse()
+
+	store := serve.NewStore(serve.Config{QueueDepth: *queue, Jobs: *jobs, Workers: *workers})
+	var logw io.Writer = os.Stderr
+	if *quiet {
+		logw = nil
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.NewServer(store, metrics.NewRegistry(), logw),
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "turnserver listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "turnserver: %v\n", err)
+		store.Close()
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "turnserver: shutting down")
+	shutdownCtx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+	defer stop()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "turnserver: shutdown: %v\n", err)
+	}
+	store.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "turnserver: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -5,8 +5,11 @@
 package exp
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"reflect"
 	"runtime"
 	"sort"
 	"sync"
@@ -65,12 +68,51 @@ type Options struct {
 	// Progress, when non-nil, receives progress/ETA lines as sweep
 	// simulations complete (typically os.Stderr for long runs).
 	Progress io.Writer
+	// OnProgress, when non-nil, is called once per completed leaf
+	// simulation with the enclosing sweep's cumulative progress. It is
+	// the structured form of Progress for embedding callers — the
+	// turnserver streams these events to HTTP clients. Leaves complete
+	// on worker goroutines, so the callback must be safe for concurrent
+	// use; it is never called for cached sweeps (a cache hit runs no
+	// leaves).
+	OnProgress func(ProgressEvent)
+	// Cancel, when non-nil, aborts the run when closed: leaves not yet
+	// started are skipped, in-flight simulations stop at their next
+	// cancellation poll (sim.Config.Stop), and the entry points return
+	// ErrCanceled. A canceled run is never cached.
+	Cancel <-chan struct{}
 	// DisableRouteTables forwards sim.Config.DisableRouteTable to the
 	// figure-sweep simulations: routing relations are evaluated
 	// directly per header instead of through compiled route tables.
 	// Results are bit-identical either way; the switch exists for A/B
 	// verification and diagnosis.
 	DisableRouteTables bool
+}
+
+// ProgressEvent reports one completed leaf simulation to
+// Options.OnProgress. Done counts completed leaves of the Total in the
+// sweep unit named by Label (a figure ID or algorithm name).
+type ProgressEvent struct {
+	Label string `json:"label"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// ErrCanceled is returned by the sweep entry points when
+// Options.Cancel fired before the run completed.
+var ErrCanceled = errors.New("exp: run canceled")
+
+// canceled reports whether Options.Cancel has fired.
+func (o Options) canceled() bool {
+	if o.Cancel == nil {
+		return false
+	}
+	select {
+	case <-o.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 func (o Options) workers() int {
@@ -281,6 +323,16 @@ func runSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Opt
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if o.canceled() {
+				// Leaves not yet started are skipped outright; the slot
+				// frees immediately for whoever shares the semaphore.
+				mu.Lock()
+				defer mu.Unlock()
+				if firstErr == nil {
+					firstErr = ErrCanceled
+				}
+				return
+			}
 			cfg := sim.Config{
 				Algorithm:         alg,
 				Pattern:           pat,
@@ -291,6 +343,9 @@ func runSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Opt
 				DisableRouteTable: o.DisableRouteTables,
 				Shards:            o.Shards,
 			}
+			if o.Cancel != nil {
+				cfg.Stop = o.canceled
+			}
 			// One collector per simulation: collectors are not safe to
 			// share across concurrent runs, and attaching them never
 			// changes results.
@@ -300,7 +355,13 @@ func runSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Opt
 				cfg.Metrics = m
 			}
 			r, err := sim.Run(cfg)
-			prog.tick()
+			if err == nil && r.Stopped {
+				// An in-flight simulation aborted by cancellation: its
+				// partial measurements must never land in the cache.
+				err = ErrCanceled
+			} else {
+				prog.tick()
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {
@@ -426,18 +487,60 @@ var (
 	sweepCache = map[string][]Sweep{}
 )
 
-func cacheKey(f FigureSpec, o Options) string {
-	// Workers is deliberately absent: the results are bit-identical for
-	// any worker count, so concurrency never splits the cache. The
-	// metrics parameters ARE present: cached sweeps run without
-	// collectors carry no summaries, so a metrics-enabled request must
-	// not reuse them (and vice versa). DisableRouteTables and Shards
-	// are present even though results are bit-identical either way, so
-	// the A/B determinism tests compare two genuine runs rather than
-	// one run against its own cache entry.
-	return fmt.Sprintf("%s/%d/%v/%v/%d/%d/%v/%d/%v/%d", f.ID, o.Seed, o.Quick, o.Loads, o.Warmup, o.Measure,
-		o.metricsEnabled(), o.MetricsInterval, o.DisableRouteTables, o.Shards)
+// cacheNeutralOptionFields lists the Options fields that can never
+// change a figure's cached sweep content: concurrency knobs and
+// side-channel hooks. Every other field is serialized into the cache
+// key automatically by reflection, so adding a result-affecting
+// Options field (fault knobs, new sweep parameters) can never silently
+// alias cache entries — the new field is keyed the moment it exists.
+// TestCacheKeyCoversOptions fails if this list drifts from the struct.
+var cacheNeutralOptionFields = map[string]string{
+	"Workers":    "results are bit-identical for any worker count",
+	"Progress":   "stderr progress lines never affect results",
+	"OnProgress": "structured progress callbacks never affect results",
+	"Cancel":     "canceled runs return ErrCanceled and are never cached",
 }
+
+// cacheKey canonically serializes the figure identity plus every
+// result-affecting option into the sweep cache's key. Fields marshal
+// as a JSON object with sorted keys, so the key is canonical; neutral
+// fields (cacheNeutralOptionFields) are skipped. The metrics
+// parameters ARE present: cached sweeps run without collectors carry
+// no summaries, so a metrics-enabled request must not reuse them (and
+// vice versa) — though for MetricsDir only the enabled-ness is keyed,
+// not the path dumps land at. DisableRouteTables and Shards are
+// present even though results are bit-identical either way, so the A/B
+// determinism tests compare two genuine runs rather than one run
+// against its own cache entry.
+func cacheKey(f FigureSpec, o Options) string {
+	fields := map[string]any{"figure": f.ID}
+	v := reflect.ValueOf(o)
+	for i := 0; i < v.NumField(); i++ {
+		name := v.Type().Field(i).Name
+		if _, neutral := cacheNeutralOptionFields[name]; neutral {
+			continue
+		}
+		val := v.Field(i).Interface()
+		if name == "MetricsDir" {
+			val = o.MetricsDir != ""
+		}
+		fields["opt:"+name] = val
+	}
+	b, err := json.Marshal(fields)
+	if err != nil {
+		// Every keyed field must serialize; a new unserializable field
+		// must either be listed cache-neutral or made marshalable.
+		panic(fmt.Sprintf("exp: cache key not serializable: %v", err))
+	}
+	return string(b)
+}
+
+// CacheKey returns the canonical content address of a figure run: two
+// (figure, Options) pairs share a key exactly when RunFigure would
+// serve them from the same cache entry. The turnserver uses it to
+// content-address jobs, so identical submissions collapse onto one job
+// and one cached result.
+func CacheKey(f FigureSpec, o Options) string { return cacheKey(f, o) }
 
 // RunFigure runs (or returns cached) sweeps for a figure spec. With
 // Options.MetricsDir set it also writes the figure's metric dump

@@ -26,12 +26,14 @@ func (o Options) metricsEnabled() bool {
 	return o.MetricsDir != "" || o.MetricsInterval > 0
 }
 
-// progress reports completed simulations with an ETA, for long sweeps
-// run interactively. A nil *progress is inert, so callers thread it
-// through unconditionally.
+// progress reports completed simulations, for long sweeps run
+// interactively (throttled ETA lines on Options.Progress) or embedded
+// in a service (one Options.OnProgress event per leaf). A nil
+// *progress is inert, so callers thread it through unconditionally.
 type progress struct {
 	mu    sync.Mutex
 	w     io.Writer
+	cb    func(ProgressEvent)
 	label string
 	total int
 	done  int
@@ -39,19 +41,20 @@ type progress struct {
 	last  time.Time
 }
 
-// newProgress returns a tracker writing to o.Progress, or nil when
-// progress reporting is off.
+// newProgress returns a tracker feeding o.Progress and o.OnProgress,
+// or nil when progress reporting is off.
 func newProgress(o Options, label string, total int) *progress {
-	if o.Progress == nil || total == 0 {
+	if (o.Progress == nil && o.OnProgress == nil) || total == 0 {
 		return nil
 	}
 	now := time.Now()
-	return &progress{w: o.Progress, label: label, total: total, start: now, last: now}
+	return &progress{w: o.Progress, cb: o.OnProgress, label: label, total: total, start: now, last: now}
 }
 
-// tick records one completed simulation and emits a progress line with
-// elapsed time and a linear-extrapolation ETA. Lines are throttled to
-// one per second, but the final tick always prints.
+// tick records one completed simulation: every tick reaches the
+// structured callback, while writer lines carry elapsed time and a
+// linear-extrapolation ETA and are throttled to one per second (the
+// final tick always prints).
 func (p *progress) tick() {
 	if p == nil {
 		return
@@ -59,6 +62,12 @@ func (p *progress) tick() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
+	if p.cb != nil {
+		p.cb(ProgressEvent{Label: p.label, Done: p.done, Total: p.total})
+	}
+	if p.w == nil {
+		return
+	}
 	now := time.Now()
 	if p.done < p.total && now.Sub(p.last) < time.Second {
 		return

@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"io"
+	"sync"
+)
+
+// Exporter writes metrics in the Prometheus text exposition format.
+// Collector.WritePrometheus is the per-run instance; long-running
+// processes contribute additional exporters for their own counters.
+type Exporter func(io.Writer) error
+
+// Registry aggregates Prometheus text exporters for a long-running
+// process. A Collector covers exactly one simulation run; a service
+// hosting many runs (the turnserver) registers one exporter per
+// subsystem — its job counters, aggregate simulation totals, and
+// whatever else it tracks — and serves them all from a single /metrics
+// endpoint. Registration and scraping are safe for concurrent use;
+// each exporter is responsible for its own internal synchronization.
+type Registry struct {
+	mu        sync.Mutex
+	exporters []Exporter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends an exporter. Exporters are scraped in registration
+// order, so a subsystem's metrics stay contiguous in the exposition.
+func (r *Registry) Register(e Exporter) {
+	r.mu.Lock()
+	r.exporters = append(r.exporters, e)
+	r.mu.Unlock()
+}
+
+// WritePrometheus scrapes every registered exporter into w, stopping
+// at the first error.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	exps := append([]Exporter(nil), r.exporters...)
+	r.mu.Unlock()
+	for _, e := range exps {
+		if err := e(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryScrapeOrder: exporters emit in registration order, so
+// each subsystem's block stays contiguous.
+func TestRegistryScrapeOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Register(func(w io.Writer) error { fmt.Fprintln(w, "a_total 1"); return nil })
+	r.Register(func(w io.Writer) error { fmt.Fprintln(w, "b_total 2"); return nil })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.String(), "a_total 1\nb_total 2\n"; got != want {
+		t.Fatalf("scrape = %q, want %q", got, want)
+	}
+}
+
+// TestRegistryFirstError: a failing exporter stops the scrape and
+// surfaces its error.
+func TestRegistryFirstError(t *testing.T) {
+	r := NewRegistry()
+	boom := errors.New("boom")
+	r.Register(func(w io.Writer) error { return boom })
+	called := false
+	r.Register(func(w io.Writer) error { called = true; return nil })
+	if err := r.WritePrometheus(io.Discard); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if called {
+		t.Fatal("exporter after the failing one still ran")
+	}
+}
+
+// TestRegistryConcurrent: concurrent Register and scrape calls must
+// not race (run under -race in CI).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			r.Register(func(w io.Writer) error { return nil })
+		}()
+		go func() {
+			defer wg.Done()
+			_ = r.WritePrometheus(io.Discard)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,275 @@
+// Package serve turns the figure harness into a long-running service:
+// a job store with admission control runs figure sweeps on a bounded
+// worker pool, content-addresses every job by its canonical
+// configuration (so identical submissions collapse onto one job and
+// the internal/exp sweep cache serves repeats instantly), and an HTTP
+// layer exposes submission, status, per-leaf progress streaming (SSE),
+// cancellation and a shared Prometheus /metrics endpoint. cmd/turnserver
+// is the binary wrapper.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"turnmodel/internal/exp"
+)
+
+// JobState is a job's position in its lifecycle. Transitions are
+// queued -> running -> one of done/failed/canceled, except that a job
+// canceled while still queued goes straight to canceled.
+type JobState string
+
+// The job lifecycle states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether no further transition can happen.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobRequest is the POST /v1/jobs body: one figure sweep, mapping onto
+// exp.Options plus the figure identity. Concurrency is the server's
+// business — there is deliberately no workers field; Shards is honored
+// because internal/exp clamps Workers x Shards to the machine budget.
+type JobRequest struct {
+	// Figure is the sweep to run, e.g. "fig13" (see exp.Figures).
+	Figure string `json:"figure"`
+	// Quick trades fidelity for speed, as in exp.Options.
+	Quick bool `json:"quick,omitempty"`
+	// Seed makes the stochastic sweeps reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// Loads overrides the sweep's offered-load points (flits/us/node).
+	Loads []float64 `json:"loads,omitempty"`
+	// WarmupCycles and MeasureCycles override the simulation window.
+	WarmupCycles  int64 `json:"warmup_cycles,omitempty"`
+	MeasureCycles int64 `json:"measure_cycles,omitempty"`
+	// Shards is the per-engine shard count (0 serial, -1 auto).
+	Shards int `json:"shards,omitempty"`
+	// DisableRouteTables forces direct routing-relation evaluation, for
+	// A/B comparisons over HTTP.
+	DisableRouteTables bool `json:"disable_route_tables,omitempty"`
+}
+
+// options maps the request onto exp.Options. The result carries no
+// concurrency or progress hooks; the store adds those per run.
+func (r JobRequest) options() exp.Options {
+	return exp.Options{
+		Quick:              r.Quick,
+		Seed:               r.Seed,
+		Loads:              r.Loads,
+		Warmup:             r.WarmupCycles,
+		Measure:            r.MeasureCycles,
+		Shards:             r.Shards,
+		DisableRouteTables: r.DisableRouteTables,
+	}
+}
+
+// validate resolves the figure and rejects nonsense parameters.
+func (r JobRequest) validate() (exp.FigureSpec, error) {
+	f, ok := exp.FigureByID(r.Figure)
+	if !ok {
+		return exp.FigureSpec{}, fmt.Errorf("unknown figure %q", r.Figure)
+	}
+	if r.WarmupCycles < 0 || r.MeasureCycles < 0 {
+		return exp.FigureSpec{}, fmt.Errorf("negative simulation window")
+	}
+	if r.Shards < -1 {
+		return exp.FigureSpec{}, fmt.Errorf("bad shard count %d", r.Shards)
+	}
+	for _, l := range r.Loads {
+		if l <= 0 {
+			return exp.FigureSpec{}, fmt.Errorf("non-positive load %v", l)
+		}
+	}
+	return f, nil
+}
+
+// Event is one entry of a job's ordered event log, streamed to SSE
+// subscribers and replayed to late joiners. Progress events carry the
+// exp.ProgressEvent fields; terminal events carry the error, if any.
+type Event struct {
+	// Type is "queued", "running", "progress", or a terminal state.
+	Type string `json:"type"`
+	// Label, Done and Total are set on progress events.
+	Label string `json:"label,omitempty"`
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+	// CacheHit marks a terminal done event served from the sweep cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Error is set on failed events.
+	Error string `json:"error,omitempty"`
+}
+
+// Job is one submitted figure sweep. The ID is the content address of
+// the canonical configuration: resubmitting the same body yields the
+// same job. All mutable state is guarded by mu; cond broadcasts every
+// event append so stream subscribers can wait without polling.
+type Job struct {
+	// ID is the content-addressed job identifier (hex, 16 bytes of the
+	// SHA-256 of the exp cache key).
+	ID string
+	// Key is the underlying exp.CacheKey.
+	Key string
+	// Req echoes the submitted request.
+	Req JobRequest
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	state   JobState
+	events  []Event
+	result  []byte // exp.WriteFigureJSON bytes, set when state == done
+	errMsg  string
+	cancel  chan struct{}
+	stopped bool // cancel already closed
+	// cacheHit records that the run completed without running a single
+	// leaf simulation: every sweep came from the exp cache.
+	cacheHit bool
+	// leaves counts leaf simulations this job actually ran.
+	leaves int
+
+	submitted time.Time
+}
+
+// jobID derives the content-addressed identifier from the canonical
+// cache key.
+func jobID(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:16])
+}
+
+// newJob builds a queued job for a validated request.
+func newJob(req JobRequest, key string) *Job {
+	j := &Job{
+		ID:        jobID(key),
+		Key:       key,
+		Req:       req,
+		state:     StateQueued,
+		cancel:    make(chan struct{}),
+		submitted: time.Now(),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	j.events = append(j.events, Event{Type: string(StateQueued)})
+	return j
+}
+
+// append adds an event (and optional state transition) and wakes every
+// stream subscriber. Pass "" to keep the current state.
+func (j *Job) append(state JobState, ev Event) {
+	j.mu.Lock()
+	if state != "" {
+		j.state = state
+	}
+	j.events = append(j.events, ev)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// requestCancel closes the cancel channel once. It does not transition
+// the state: the runner (or the store, for queued jobs) observes the
+// closed channel and records the canceled event in its own order.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	if !j.stopped {
+		j.stopped = true
+		close(j.cancel)
+	}
+	j.mu.Unlock()
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the finished figure JSON (byte-identical to
+// exp.WriteFigureJSON on the same configuration) and whether it is
+// available yet.
+func (j *Job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state == StateDone
+}
+
+// next blocks until the event log grows past from, the job reaches a
+// terminal state, or stop fires (stream client gone; whoever closes
+// stop must also broadcast the condvar). It returns the new events
+// plus whether the log is complete: a terminal state with every event
+// consumed returns (nil, true).
+func (j *Job) next(from int, stop <-chan struct{}) ([]Event, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.events) <= from && !j.state.terminal() && !fired(stop) {
+		j.cond.Wait()
+	}
+	if len(j.events) > from {
+		out := append([]Event(nil), j.events[from:]...)
+		return out, j.state.terminal() && from+len(out) == len(j.events)
+	}
+	return nil, true
+}
+
+// fired reports whether a (possibly nil) channel is closed.
+func fired(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
+// Status is the JSON shape of GET /v1/jobs/{id} and of job listings.
+type Status struct {
+	// ID and Figure identify the job; State its lifecycle position.
+	ID     string   `json:"id"`
+	Figure string   `json:"figure"`
+	State  JobState `json:"state"`
+	// Done and Total report leaf-simulation progress while running.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// CacheHit marks a completed job served entirely from the sweep
+	// cache; LeavesRun counts the leaf simulations it actually ran.
+	CacheHit  bool `json:"cache_hit,omitempty"`
+	LeavesRun int  `json:"leaves_run,omitempty"`
+	// Error is the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+	// SubmittedAt is the admission timestamp, RFC 3339.
+	SubmittedAt string `json:"submitted_at"`
+}
+
+// Status snapshots the job for the status and list endpoints.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:          j.ID,
+		Figure:      j.Req.Figure,
+		State:       j.state,
+		CacheHit:    j.cacheHit,
+		LeavesRun:   j.leaves,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339),
+	}
+	for i := len(j.events) - 1; i >= 0; i-- {
+		if j.events[i].Type == "progress" {
+			s.Done, s.Total = j.events[i].Done, j.events[i].Total
+			break
+		}
+	}
+	return s
+}

@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"turnmodel/internal/exp"
+)
+
+// ErrQueueFull is returned by Submit when the bounded job queue cannot
+// admit another job; the HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: store closed")
+
+// Config sizes the job store.
+type Config struct {
+	// QueueDepth bounds the jobs admitted but not yet running; beyond
+	// it Submit returns ErrQueueFull (HTTP 429). Default 16.
+	QueueDepth int
+	// Jobs is the number of jobs run concurrently. Default 1: a single
+	// figure sweep already fans out across every core, so running jobs
+	// serially maximizes per-job latency without idling the machine.
+	Jobs int
+	// Workers is the total leaf-simulation concurrency budget shared by
+	// all running jobs (each job gets Workers/Jobs, and internal/exp
+	// further clamps Workers x Shards to GOMAXPROCS). Default
+	// GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Store owns the job table, the bounded admission queue and the worker
+// pool that drains it. Jobs are content-addressed: submitting a body
+// whose canonical configuration matches an existing non-failed job
+// returns that job instead of creating one, and completed results are
+// additionally backed by the internal/exp sweep cache, so even a fresh
+// Store (or a replaced job) re-serves known configurations without
+// re-running leaf simulations.
+type Store struct {
+	cfg        Config
+	perJob     int // leaf workers per running job
+	queue      chan *Job
+	stop       chan struct{}
+	wg         sync.WaitGroup
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	closed     bool
+	running    atomic.Int64
+	submitted  atomic.Int64 // admissions, deduped included
+	deduped    atomic.Int64 // submissions answered with an existing job
+	rejected   atomic.Int64 // ErrQueueFull admissions
+	done       atomic.Int64
+	failed     atomic.Int64
+	canceled   atomic.Int64
+	cacheHits  atomic.Int64 // jobs completed without running any leaf
+	leavesRun  atomic.Int64 // leaf simulations executed
+	packetsDel atomic.Int64 // packets delivered across completed jobs
+}
+
+// NewStore builds the store and starts its job workers.
+func NewStore(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:    cfg,
+		perJob: max(1, cfg.Workers/cfg.Jobs),
+		queue:  make(chan *Job, cfg.QueueDepth),
+		stop:   make(chan struct{}),
+		jobs:   make(map[string]*Job),
+	}
+	s.wg.Add(cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and admits a job. The bool reports whether the
+// returned job already existed (dedup or finished result); a false
+// return means a fresh job was queued. ErrQueueFull means the caller
+// should retry later; any other error is a bad request.
+func (s *Store) Submit(req JobRequest) (*Job, bool, error) {
+	f, err := req.validate()
+	if err != nil {
+		return nil, false, err
+	}
+	key := exp.CacheKey(f, req.options())
+	id := jobID(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	s.submitted.Add(1)
+	if j, ok := s.jobs[id]; ok {
+		// Failed and canceled jobs are replaced so a transient failure
+		// is not sticky; anything else — queued, running, done — is the
+		// authoritative job for this configuration.
+		if st := j.State(); st != StateFailed && st != StateCanceled {
+			s.deduped.Add(1)
+			return j, true, nil
+		}
+	}
+	j := newJob(req, key)
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		return j, false, nil
+	default:
+		s.rejected.Add(1)
+		return nil, false, ErrQueueFull
+	}
+}
+
+// Get looks a job up by ID.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every job's status, newest submission first.
+func (s *Store) Jobs() []Status {
+	s.mu.Lock()
+	all := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(all))
+	for i, j := range all {
+		out[i] = j.Status()
+	}
+	sort.SliceStable(out, func(i, k int) bool { return out[i].SubmittedAt > out[k].SubmittedAt })
+	return out
+}
+
+// Cancel requests cancellation of a job. Queued jobs transition to
+// canceled immediately; running jobs stop at their next cancellation
+// poll (skipping unstarted leaves, aborting in-flight engines, and
+// freeing the worker slot). Returns false for unknown IDs.
+func (s *Store) Cancel(id string) bool {
+	j, ok := s.Get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return true
+	}
+	if !j.stopped {
+		j.stopped = true
+		close(j.cancel)
+	}
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.events = append(j.events, Event{Type: string(StateCanceled)})
+		j.cond.Broadcast()
+		s.canceled.Add(1)
+	}
+	return true
+}
+
+// RetryAfterSeconds estimates when a rejected submitter should retry:
+// one second per job ahead of it, at least one.
+func (s *Store) RetryAfterSeconds() int {
+	return max(1, len(s.queue)+int(s.running.Load()))
+}
+
+// Close stops admission, cancels every queued and running job, and
+// waits for the workers to exit. Idempotent.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.Cancel(id)
+	}
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// worker drains the admission queue until Close.
+func (s *Store) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.run(j)
+		}
+	}
+}
+
+// run executes one dequeued job end to end.
+func (s *Store) run(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.events = append(j.events, Event{Type: string(StateRunning)})
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	f, err := j.Req.validate() // re-resolve the figure spec
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	o := j.Req.options()
+	o.Workers = s.perJob
+	o.Cancel = j.cancel
+	o.OnProgress = func(ev exp.ProgressEvent) {
+		s.leavesRun.Add(1)
+		j.mu.Lock()
+		j.leaves++
+		j.events = append(j.events, Event{Type: "progress", Label: ev.Label, Done: ev.Done, Total: ev.Total})
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}
+	sweeps, err := exp.RunFigure(f, o)
+	switch {
+	case errors.Is(err, exp.ErrCanceled):
+		s.canceled.Add(1)
+		j.append(StateCanceled, Event{Type: string(StateCanceled)})
+	case err != nil:
+		s.fail(j, err)
+	default:
+		var buf bytes.Buffer
+		// The stored bytes are exactly exp.WriteFigureJSON's, so an HTTP
+		// result is byte-identical to an in-process render.
+		if err := exp.WriteFigureJSON(&buf, f, sweeps); err != nil {
+			s.fail(j, err)
+			return
+		}
+		var delivered int64
+		for _, sw := range sweeps {
+			for _, p := range sw.Points {
+				delivered += p.Result.PacketsDelivered
+			}
+		}
+		s.packetsDel.Add(delivered)
+		s.done.Add(1)
+		j.mu.Lock()
+		j.result = buf.Bytes()
+		j.cacheHit = j.leaves == 0
+		if j.cacheHit {
+			s.cacheHits.Add(1)
+		}
+		j.state = StateDone
+		j.events = append(j.events, Event{Type: string(StateDone), CacheHit: j.cacheHit})
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}
+}
+
+// fail records a terminal failure.
+func (s *Store) fail(j *Job, err error) {
+	s.failed.Add(1)
+	j.mu.Lock()
+	j.errMsg = err.Error()
+	j.state = StateFailed
+	j.events = append(j.events, Event{Type: string(StateFailed), Error: j.errMsg})
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// WriteMetrics emits the store's counters in the Prometheus text
+// exposition format; the server registers it on the shared
+// metrics.Registry behind /metrics.
+func (s *Store) WriteMetrics(w io.Writer) error {
+	s.mu.Lock()
+	queued := 0
+	for _, j := range s.jobs {
+		if j.State() == StateQueued {
+			queued++
+		}
+	}
+	s.mu.Unlock()
+	counters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"turnserver_jobs_submitted_total", "Job submissions admitted, deduplicated included.", s.submitted.Load()},
+		{"turnserver_jobs_deduped_total", "Submissions answered with an existing content-addressed job.", s.deduped.Load()},
+		{"turnserver_jobs_rejected_total", "Submissions rejected with 429 by admission control.", s.rejected.Load()},
+		{"turnserver_jobs_done_total", "Jobs completed successfully.", s.done.Load()},
+		{"turnserver_jobs_failed_total", "Jobs that ended in an error.", s.failed.Load()},
+		{"turnserver_jobs_canceled_total", "Jobs canceled before completing.", s.canceled.Load()},
+		{"turnserver_job_cache_hits_total", "Completed jobs served entirely from the sweep cache.", s.cacheHits.Load()},
+		{"turnserver_sim_leaves_run_total", "Leaf simulations executed on behalf of jobs.", s.leavesRun.Load()},
+		{"turnserver_sim_packets_delivered_total", "Packets delivered across completed jobs' measurement windows.", s.packetsDel.Load()},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# HELP turnserver_jobs_queued Jobs admitted and waiting to run.\n# TYPE turnserver_jobs_queued gauge\nturnserver_jobs_queued %d\n# HELP turnserver_jobs_running Jobs currently executing.\n# TYPE turnserver_jobs_running gauge\nturnserver_jobs_running %d\n", queued, s.running.Load())
+	return err
+}

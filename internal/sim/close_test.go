@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+// closeTestEngine builds a small sharded engine with enough traffic
+// that the worker pool actually spins up.
+func closeTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	topo := topology.NewMesh(4, 4)
+	e, err := New(Config{
+		Algorithm:     routing.NewWestFirst(topo),
+		Pattern:       traffic.NewUniform(topo),
+		OfferedLoad:   1.5,
+		WarmupCycles:  1 << 30,
+		MeasureCycles: 1,
+		Seed:          7,
+		Shards:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestShardCloseRepeated: Close must be idempotent — before any cycle,
+// after stepping, twice in a row, and again after the pool restarted.
+func TestShardCloseRepeated(t *testing.T) {
+	e := closeTestEngine(t)
+	e.Close() // never stepped: no pool yet
+	for i := 0; i < 64; i++ {
+		e.step()
+		e.cycle++
+	}
+	e.Close()
+	e.Close() // second Close sees no pool
+	for i := 0; i < 64; i++ {
+		e.step()
+		e.cycle++
+	}
+	e.Close()
+	e.Close()
+}
+
+// TestShardCloseDuringRun: the turnserver cancels jobs while their
+// engines are mid-run, so Close must be safe to call from another
+// goroutine while the stepping goroutine is inside (or between)
+// parallel regions — including many times, concurrently, while the
+// pool keeps restarting. Run under -race this is the lifecycle's main
+// correctness test.
+func TestShardCloseDuringRun(t *testing.T) {
+	e := closeTestEngine(t)
+	const cycles = 4000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < cycles; i++ {
+			e.step()
+			e.cycle++
+		}
+	}()
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					e.Close()
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+	e.Close()
+	if e.stats.totalDeliveredEver == 0 {
+		t.Fatal("no deliveries; the close stress would be vacuous")
+	}
+}
+
+// TestStopEndsRunEarly: Config.Stop is the cooperative cancellation
+// hook; a run whose Stop fires must end promptly with Result.Stopped
+// and still release its worker pool (Run defers Close).
+func TestStopEndsRunEarly(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	var polls atomic.Int64
+	r, err := Run(Config{
+		Algorithm:     routing.NewWestFirst(topo),
+		Pattern:       traffic.NewUniform(topo),
+		OfferedLoad:   1.0,
+		WarmupCycles:  1 << 30, // would run forever without Stop
+		MeasureCycles: 1,
+		Seed:          3,
+		Shards:        2,
+		Stop:          func() bool { return polls.Add(1) > 4 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Stopped {
+		t.Fatal("run completed without Stopped despite Stop firing")
+	}
+	if r.Cycles > 64*1024 {
+		t.Fatalf("stopped run still simulated %d cycles", r.Cycles)
+	}
+}

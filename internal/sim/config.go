@@ -287,6 +287,16 @@ type Config struct {
 	// changes simulation results; leaving it nil costs one branch per
 	// hook. The Observer interface remains the tracing path.
 	Metrics *metrics.Collector
+
+	// Stop, if non-nil, is polled once every 1024 cycles; when it
+	// returns true the run ends early with Result.Stopped set. It is
+	// the cooperative cancellation hook for callers that host
+	// long-running simulations (the turnserver's per-job cancellation):
+	// the engine still tears down normally — worker pools released,
+	// fault state restored — and a stopped run's measurements cover
+	// only the cycles that actually ran, so callers should treat the
+	// result as partial. Leaving it nil costs nothing.
+	Stop func() bool
 }
 
 func (c *Config) withDefaults() (Config, error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
@@ -205,8 +206,12 @@ type Engine struct {
 	// goroutine per shard above zero (shard zero runs on the stepping
 	// goroutine), started lazily at the first sharded cycle and parked
 	// on the gate between parallel regions. The pool stays warm across
-	// repeated runs; Close releases it. See shard.go.
-	gate *shardGate
+	// repeated runs; Close releases it. gateMu serializes pool
+	// start/teardown with region execution, making Close idempotent and
+	// safe to call concurrently with a run (see shard.go). Serial
+	// engines never touch either.
+	gateMu sync.Mutex
+	gate   *shardGate
 
 	// linkFlits counts flits carried per physical link during the
 	// measurement window, for utilization reporting.

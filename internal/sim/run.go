@@ -47,6 +47,11 @@ type Result struct {
 	// measurement window.
 	BacklogGrowth int64
 
+	// Stopped reports that Config.Stop ended the run before its
+	// configured window completed; the measurements cover only the
+	// cycles that ran and should be treated as partial.
+	Stopped bool
+
 	// Deadlocked reports that no flit moved for DeadlockThreshold cycles
 	// while traffic was in flight. With recovery enabled
 	// (Config.RecoveryThreshold > 0) stalled worms are aborted and
@@ -186,6 +191,10 @@ func (e *Engine) run() Result {
 		e.stats.measuring = true
 	}
 	for {
+		if e.cfg.Stop != nil && e.cycle&1023 == 0 && e.cfg.Stop() {
+			res.Stopped = true
+			break
+		}
 		if scripted {
 			done := e.scriptAt == len(e.script) && e.inFlight == 0
 			if done || e.cycle >= e.cfg.DrainDeadline {

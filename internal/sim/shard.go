@@ -322,18 +322,25 @@ func (e *Engine) initShards(n, ndim2 int) {
 // runRegion runs one parallel region across the pool: release the
 // workers, run shard zero's slice on the calling (stepping) goroutine,
 // and join. The pool is started lazily at the first sharded cycle and
-// stays warm until Close.
+// stays warm until Close. The whole region runs under gateMu so a
+// concurrent Close can never inject a phaseExit release mid-region
+// (which would corrupt the done count) — it blocks until the region's
+// join, detaches the pool, and the next region transparently starts a
+// fresh one.
 func (e *Engine) runRegion(ph, epoch int32) {
+	e.gateMu.Lock()
 	if e.gate == nil {
 		e.startPool()
 	}
-	e.gate.release(ph, epoch, int32(e.nshards-1))
+	g := e.gate
+	g.release(ph, epoch, int32(e.nshards-1))
 	if ph == phaseAlloc {
 		e.runShard(0, epoch)
 	} else {
 		e.runMoveShard(0)
 	}
-	e.gate.awaitDone()
+	g.awaitDone()
+	e.gateMu.Unlock()
 }
 
 // allocateSharded runs one allocation phase across the worker pool:
@@ -516,18 +523,20 @@ func (e *Engine) verdictFor(in int32) int8 {
 // startPool launches the worker goroutines for shards 1..nshards-1
 // (shard zero runs on the stepping goroutine). Workers park on the
 // gate between regions; the pool stays warm across the engine's whole
-// life — repeated run/step sequences reuse it — until Close.
+// life — repeated run/step sequences reuse it — until Close. Called
+// with gateMu held; the gate is passed to each worker explicitly so a
+// late-starting goroutine never reads e.gate concurrently with a
+// Close that detaches it.
 func (e *Engine) startPool() {
 	e.gate = newShardGate(e.nshards - 1)
 	for s := 1; s < e.nshards; s++ {
-		go e.shardWorker(s)
+		go e.shardWorker(s, e.gate)
 	}
 }
 
 // shardWorker is the loop of one pool goroutine: wait for a release,
 // run the published region's slice, report done; exit on phaseExit.
-func (e *Engine) shardWorker(s int) {
-	g := e.gate
+func (e *Engine) shardWorker(s int, g *shardGate) {
 	defer g.wg.Done()
 	last := uint64(0)
 	for {
@@ -549,11 +558,21 @@ func (e *Engine) shardWorker(s int) {
 // closes the engine it creates. Tests that drive a sharded engine
 // through step directly should defer it. The engine remains usable
 // after Close — the next sharded cycle restarts the pool.
+//
+// Close is idempotent and safe for concurrent use, including against a
+// run in flight on another goroutine (the turnserver cancels jobs
+// mid-run): it waits for any in-flight parallel region, detaches the
+// pool under gateMu, and tears it down outside the lock. Concurrent
+// callers race to detach; every loser sees nil and returns, and a
+// region that starts after the detach builds a fresh pool.
 func (e *Engine) Close() {
-	if e.gate == nil {
+	e.gateMu.Lock()
+	g := e.gate
+	e.gate = nil
+	e.gateMu.Unlock()
+	if g == nil {
 		return
 	}
-	e.gate.release(phaseExit, 0, 0)
-	e.gate.wg.Wait()
-	e.gate = nil
+	g.release(phaseExit, 0, 0)
+	g.wg.Wait()
 }
