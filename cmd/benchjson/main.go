@@ -45,7 +45,10 @@ import (
 	"text/tabwriter"
 
 	"turnmodel/internal/exp"
+	"turnmodel/internal/routing"
 	"turnmodel/internal/sim"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
 )
 
 // figureBenches mirrors the Benchmark* figure entries in bench_test.go:
@@ -59,6 +62,54 @@ var figureBenches = []struct {
 	{"Fig14TransposeMesh", "fig14", 1.75},
 	{"Fig15TransposeCube", "fig15", 2.5},
 	{"Fig16ReverseFlipCube", "fig16", 2.5},
+}
+
+// classBenches covers the switching classes the conflict-partitioned
+// move phase parallelizes, one whole-simulation entry per class, so the
+// BENCH trajectory records the sharded-move behavior of multi-VC and
+// chained store-and-forward configurations — the two classes that fell
+// back to serial before PR 8 — alongside the wormhole baseline.
+var classBenches = []struct {
+	Name string
+	Cfg  func() sim.Config
+}{
+	{"ClassWormhole", func() sim.Config {
+		t := topology.NewMesh(16, 16)
+		return sim.Config{
+			Algorithm:   routing.NewNegativeFirst(t),
+			Pattern:     traffic.NewUniform(t),
+			OfferedLoad: 1.25,
+		}
+	}},
+	{"ClassMultiVC", func() sim.Config {
+		t := topology.NewTorus(8, 2)
+		return sim.Config{
+			VCAlgorithm: routing.NewDatelineDOR(t),
+			Pattern:     traffic.NewUniform(t),
+			OfferedLoad: 1.5,
+		}
+	}},
+	{"ClassStrictSAF", func() sim.Config {
+		t := topology.NewMesh(16, 16)
+		return sim.Config{
+			Algorithm:     routing.NewNegativeFirst(t),
+			Pattern:       traffic.NewUniform(t),
+			OfferedLoad:   1.25,
+			Switching:     sim.StoreAndForward,
+			StrictAdvance: true,
+			Lengths:       []int{6, 12},
+		}
+	}},
+	{"ClassChainedSAF", func() sim.Config {
+		t := topology.NewMesh(16, 16)
+		return sim.Config{
+			Algorithm:   routing.NewNegativeFirst(t),
+			Pattern:     traffic.NewUniform(t),
+			OfferedLoad: 1.25,
+			Switching:   sim.StoreAndForward,
+			Lengths:     []int{6, 12},
+		}
+	}},
 }
 
 type record struct {
@@ -75,6 +126,11 @@ type record struct {
 	// shard count the simulation ran with, 0 for the serial engine.
 	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 	Shards     int `json:"shards,omitempty"`
+	// MoveMode records whether the move phase actually ran sharded or
+	// serial for this entry (sim.MoveMode), so BENCH files are
+	// self-describing instead of requiring commit archaeology to learn
+	// which classes the sharded move covered at the time.
+	MoveMode string `json:"move_mode,omitempty"`
 }
 
 type report struct {
@@ -141,29 +197,69 @@ func run() int {
 		NumCPU:     runtime.NumCPU(),
 	}
 	ran := 0
+	measure := func(name string, cfg sim.Config, shards int) error {
+		// Serial entries keep their historical names so older baselines
+		// still match; sharded and auto lines are distinct benchmarks
+		// with their own trajectory.
+		if shards == sim.ShardsAuto {
+			name += "/shards=auto"
+		} else if shards > 1 {
+			name += fmt.Sprintf("/shards=%d", shards)
+		}
+		if *only != "" && !strings.Contains(name, *only) {
+			return nil
+		}
+		ran++
+		mode, err := sim.MoveMode(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		var last sim.Result
+		var simErr error
+		bench := func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				r, err := sim.Run(cfg)
+				if err != nil {
+					simErr = err
+					b.FailNow()
+				}
+				last = r
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", name)
+		res := testing.Benchmark(bench)
+		if simErr != nil {
+			return fmt.Errorf("%s: %w", name, simErr)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, record{
+			Name:         name,
+			NsPerOp:      res.NsPerOp(),
+			AllocsPerOp:  res.AllocsPerOp(),
+			BytesPerOp:   res.AllocedBytesPerOp(),
+			Iterations:   res.N,
+			AvgLatencyUs: last.AvgLatency,
+			Throughput:   last.Throughput,
+			GoMaxProcs:   rep.GoMaxProcs,
+			Shards:       shards,
+			MoveMode:     mode,
+		})
+		return nil
+	}
 	for _, fb := range figureBenches {
 		f, ok := exp.FigureByID(fb.FigID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchjson: unknown figure %s\n", fb.FigID)
 			return 1
 		}
-		t := f.Topology()
+		// The cross-leaf compile cache: figures sharing a topology (the
+		// two 8-cube figures) share its instance and one compiled route
+		// table per relation, instead of recompiling per figure.
+		t := exp.SharedTopology(f.Topology)
 		pat := f.Pattern(t)
-		for _, alg := range f.Algs(t) {
+		for _, alg := range exp.SharedAlgorithms(t, f.Algs(t)) {
 			for _, shards := range shardCounts {
-				name := fb.Name + "/" + alg.Name()
-				// Serial entries keep their historical names so older
-				// baselines still match; sharded and auto lines are
-				// distinct benchmarks with their own trajectory.
-				if shards == sim.ShardsAuto {
-					name += "/shards=auto"
-				} else if shards > 1 {
-					name += fmt.Sprintf("/shards=%d", shards)
-				}
-				if *only != "" && !strings.Contains(name, *only) {
-					continue
-				}
-				ran++
 				cfg := sim.Config{
 					Algorithm:     alg,
 					Pattern:       pat,
@@ -172,37 +268,26 @@ func run() int {
 					MeasureCycles: 6000,
 					Shards:        shards,
 				}
-				var last sim.Result
-				var simErr error
-				bench := func(b *testing.B) {
-					b.ReportAllocs()
-					for i := 0; i < b.N; i++ {
-						cfg.Seed = int64(i + 1)
-						r, err := sim.Run(cfg)
-						if err != nil {
-							simErr = err
-							b.FailNow()
-						}
-						last = r
-					}
-				}
-				fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", name)
-				res := testing.Benchmark(bench)
-				if simErr != nil {
-					fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, simErr)
+				if err := measure(fb.Name+"/"+alg.Name(), cfg, shards); err != nil {
+					fmt.Fprintln(os.Stderr, "benchjson:", err)
 					return 1
 				}
-				rep.Benchmarks = append(rep.Benchmarks, record{
-					Name:         name,
-					NsPerOp:      res.NsPerOp(),
-					AllocsPerOp:  res.AllocsPerOp(),
-					BytesPerOp:   res.AllocedBytesPerOp(),
-					Iterations:   res.N,
-					AvgLatencyUs: last.AvgLatency,
-					Throughput:   last.Throughput,
-					GoMaxProcs:   rep.GoMaxProcs,
-					Shards:       shards,
-				})
+			}
+		}
+	}
+	for _, cb := range classBenches {
+		// One config per class, shared across shard counts: the shard
+		// variants then reuse the same relation instance and compiled
+		// table instead of rebuilding both per entry.
+		base := cb.Cfg()
+		base.WarmupCycles = 2000
+		base.MeasureCycles = 6000
+		for _, shards := range shardCounts {
+			cfg := base
+			cfg.Shards = shards
+			if err := measure(cb.Name, cfg, shards); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				return 1
 			}
 		}
 	}

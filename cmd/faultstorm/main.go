@@ -6,9 +6,12 @@
 // violation, which makes it suitable as a CI chaos smoke test:
 //
 //	faultstorm -topo mesh8x8 -alg west-first -campaigns 4 -rate 2 -recovery 512
+//	faultstorm -topo torus6x2 -classes wormhole,multivc,chained-saf -shards 2
 //
 // Each campaign perturbs the seed, so one invocation covers several
-// independent fault schedules. The tool also reports the routing
+// independent fault schedules, and -classes repeats them per switching
+// class (multi-VC and chained store-and-forward included) so the
+// conflict-partitioned parallel move is stormed too. The tool also reports the routing
 // relation's unroutable source/destination pairs under the final fault
 // set of each campaign's plan, quantifying how much connectivity the
 // schedule destroyed.
@@ -18,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"turnmodel/internal/cli"
 	"turnmodel/internal/core"
@@ -46,102 +50,133 @@ func main() {
 	misroute := flag.Int64("misroute", 0, "misroute patience in cycles (nonminimal relations)")
 	check := flag.Bool("check", true, "run the structural invariant checker")
 	verbose := flag.Bool("v", false, "print each campaign's fault schedule size and result line")
+	classesFlag := flag.String("classes", "wormhole", "comma-separated switching classes to storm: wormhole, multivc, chained-saf. multivc swaps in a 2-VC relation (dateline-dor on tori, double-y on meshes) and ignores -alg/-nonminimal; chained-saf runs -alg under chained store-and-forward")
 	flag.Parse()
 
-	tbl := stats.NewTable("campaign", "faults", "unroutable", "delivered", "dropped", "in-flight",
+	tbl := stats.NewTable("class", "campaign", "faults", "unroutable", "delivered", "dropped", "in-flight",
 		"recoveries", "retries", "stranded", "deadlock")
 	failed := false
-	for i := 0; i < *campaigns; i++ {
-		t, err := cli.ParseTopology(*topoFlag)
-		fatal(err)
-		var alg routing.Algorithm
-		if *nonminimal {
-			alg = routing.NewTurnGraphRouting(t, core.WestFirstSet(), false)
-			if *misroute == 0 {
-				*misroute = 8
-			}
-		} else {
-			alg, err = cli.ParseAlgorithm(t, *algFlag)
+	for _, class := range strings.Split(*classesFlag, ",") {
+		class = strings.TrimSpace(class)
+		for i := 0; i < *campaigns; i++ {
+			t, err := cli.ParseTopology(*topoFlag)
 			fatal(err)
-		}
-		pat, err := cli.ParseTraffic(t, *trafficFlag)
-		fatal(err)
+			var alg routing.Algorithm
+			if *nonminimal {
+				alg = routing.NewTurnGraphRouting(t, core.WestFirstSet(), false)
+				if *misroute == 0 {
+					*misroute = 8
+				}
+			} else {
+				alg, err = cli.ParseAlgorithm(t, *algFlag)
+				fatal(err)
+			}
+			pat, err := cli.ParseTraffic(t, *trafficFlag)
+			fatal(err)
 
-		plan, err := fault.NewCampaign(t, fault.Campaign{
-			Seed:    *seed + int64(i),
-			Horizon: *cycles,
-			Rate:    *rate,
-			MTTR:    *mttr,
-		})
-		fatal(err)
+			plan, err := fault.NewCampaign(t, fault.Campaign{
+				Seed:    *seed + int64(i),
+				Horizon: *cycles,
+				Rate:    *rate,
+				MTTR:    *mttr,
+			})
+			fatal(err)
 
-		res, err := sim.Run(sim.Config{
-			Algorithm:         alg,
-			Pattern:           pat,
-			OfferedLoad:       *load,
-			WarmupCycles:      *cycles / 4,
-			MeasureCycles:     *cycles - *cycles/4,
-			Seed:              *seed + int64(i),
-			MisrouteAfter:     *misroute,
-			Shards:            *shards,
-			FaultPlan:         plan,
-			RecoveryThreshold: *recovery,
-			RetryLimit:        *retries,
-			RetryBackoff:      *backoff,
-			CheckInvariants:   *check,
-		})
-		fatal(err)
+			cfg := sim.Config{
+				Algorithm:         alg,
+				Pattern:           pat,
+				OfferedLoad:       *load,
+				WarmupCycles:      *cycles / 4,
+				MeasureCycles:     *cycles - *cycles/4,
+				Seed:              *seed + int64(i),
+				MisrouteAfter:     *misroute,
+				Shards:            *shards,
+				FaultPlan:         plan,
+				RecoveryThreshold: *recovery,
+				RetryLimit:        *retries,
+				RetryBackoff:      *backoff,
+				CheckInvariants:   *check,
+			}
+			var vcalg routing.VCAlgorithm
+			switch class {
+			case "wormhole":
+			case "multivc":
+				// Per-link VC wait chains under faults: the class the
+				// conflict-partitioned move must keep bit-identical.
+				name := "double-y"
+				if t.Kind() == topology.KindTorus {
+					name = "dateline-dor"
+				}
+				vcalg, err = cli.ParseVCAlgorithm(t, name)
+				fatal(err)
+				cfg.Algorithm = nil
+				cfg.VCAlgorithm = vcalg
+			case "chained-saf":
+				// Same-cycle cross-router SAF cascades under faults.
+				cfg.Switching = sim.StoreAndForward
+				cfg.Lengths = []int{6, 12}
+			default:
+				fatal(fmt.Errorf("unknown -classes entry %q (known: wormhole, multivc, chained-saf)", class))
+			}
 
-		// Connectivity damage of the schedule's final fault set: replay
-		// the plan to its end on a fresh driver, count the pairs the
-		// relation cannot serve, then heal the topology again.
-		unroutable, err := unroutableAtEnd(t, alg, plan, *cycles)
-		fatal(err)
+			res, err := sim.Run(cfg)
+			fatal(err)
 
-		deadlock := "no"
-		if res.Deadlocked {
-			deadlock = fmt.Sprintf("@%d", res.DeadlockCycle)
-		}
-		tbl.AddRow(fmt.Sprint(i), fmt.Sprint(len(plan.Events)), fmt.Sprint(unroutable),
-			fmt.Sprint(res.PacketsDeliveredTotal), fmt.Sprint(res.PacketsDropped),
-			fmt.Sprint(res.PacketsInFlight), fmt.Sprint(res.Recoveries),
-			fmt.Sprint(res.Retries), fmt.Sprint(res.StrandedFlits), deadlock)
-		if *verbose {
-			fmt.Printf("campaign %d: %d fault events, %s\n", i, len(plan.Events), res)
-		}
+			// Connectivity damage of the schedule's final fault set: replay
+			// the plan to its end on a fresh driver, count the pairs the
+			// relation cannot serve, then heal the topology again.
+			count := func() int { return routing.UnroutablePairs(alg) }
+			if vcalg != nil {
+				count = func() int { return routing.UnroutablePairsVC(vcalg) }
+			}
+			unroutable, err := unroutableAtEnd(t, plan, *cycles, count)
+			fatal(err)
 
-		if res.InvariantViolation != "" {
-			fmt.Fprintf(os.Stderr, "faultstorm: campaign %d: invariant violation: %s\n", i, res.InvariantViolation)
-			failed = true
-		}
-		// Conservation: every packet the run generated is delivered,
-		// dropped, or still in flight — nothing vanishes.
-		if got := res.PacketsDeliveredTotal + res.PacketsDropped + res.PacketsInFlight; got != res.PacketsGeneratedTotal {
-			fmt.Fprintf(os.Stderr, "faultstorm: campaign %d: packet accounting broken: delivered+dropped+in-flight %d != generated %d\n",
-				i, got, res.PacketsGeneratedTotal)
-			failed = true
-		}
-		if res.StrandedFlits < 0 {
-			fmt.Fprintf(os.Stderr, "faultstorm: campaign %d: negative stranded-flit count %d\n", i, res.StrandedFlits)
-			failed = true
+			deadlock := "no"
+			if res.Deadlocked {
+				deadlock = fmt.Sprintf("@%d", res.DeadlockCycle)
+			}
+			tbl.AddRow(class, fmt.Sprint(i), fmt.Sprint(len(plan.Events)), fmt.Sprint(unroutable),
+				fmt.Sprint(res.PacketsDeliveredTotal), fmt.Sprint(res.PacketsDropped),
+				fmt.Sprint(res.PacketsInFlight), fmt.Sprint(res.Recoveries),
+				fmt.Sprint(res.Retries), fmt.Sprint(res.StrandedFlits), deadlock)
+			if *verbose {
+				fmt.Printf("%s campaign %d: %d fault events, %s\n", class, i, len(plan.Events), res)
+			}
+
+			if res.InvariantViolation != "" {
+				fmt.Fprintf(os.Stderr, "faultstorm: %s campaign %d: invariant violation: %s\n", class, i, res.InvariantViolation)
+				failed = true
+			}
+			// Conservation: every packet the run generated is delivered,
+			// dropped, or still in flight — nothing vanishes.
+			if got := res.PacketsDeliveredTotal + res.PacketsDropped + res.PacketsInFlight; got != res.PacketsGeneratedTotal {
+				fmt.Fprintf(os.Stderr, "faultstorm: %s campaign %d: packet accounting broken: delivered+dropped+in-flight %d != generated %d\n",
+					class, i, got, res.PacketsGeneratedTotal)
+				failed = true
+			}
+			if res.StrandedFlits < 0 {
+				fmt.Fprintf(os.Stderr, "faultstorm: %s campaign %d: negative stranded-flit count %d\n", class, i, res.StrandedFlits)
+				failed = true
+			}
 		}
 	}
 	algName := *algFlag
 	if *nonminimal {
 		algName = "west-first (nonminimal)"
 	}
-	fmt.Printf("%s/%s on %s, load %.2f, rate %.1f/kcycle, mttr %d, recovery %d:\n%s",
-		algName, *trafficFlag, *topoFlag, *load, *rate, *mttr, *recovery, tbl)
+	fmt.Printf("%s/%s on %s, load %.2f, rate %.1f/kcycle, mttr %d, recovery %d, classes %s:\n%s",
+		algName, *trafficFlag, *topoFlag, *load, *rate, *mttr, *recovery, *classesFlag, tbl)
 	if failed {
 		os.Exit(1)
 	}
 	fmt.Println("all campaigns conserved packets and passed invariant checks")
 }
 
-// unroutableAtEnd applies plan's full schedule to t, counts alg's
-// unroutable ordered pairs under the resulting fault set, and restores
-// the topology to health.
-func unroutableAtEnd(t *topology.Topology, alg routing.Algorithm, plan *fault.Plan, horizon int64) (int, error) {
+// unroutableAtEnd applies plan's full schedule to t, calls count to
+// tally the relation's unroutable ordered pairs under the resulting
+// fault set, and restores the topology to health.
+func unroutableAtEnd(t *topology.Topology, plan *fault.Plan, horizon int64, count func() int) (int, error) {
 	drv, err := fault.NewDriver(t, plan)
 	if err != nil {
 		return 0, err
@@ -149,7 +184,7 @@ func unroutableAtEnd(t *topology.Topology, alg routing.Algorithm, plan *fault.Pl
 	if _, err := drv.Advance(horizon); err != nil {
 		return 0, err
 	}
-	n := routing.UnroutablePairs(alg)
+	n := count()
 	if err := drv.Reset(); err != nil {
 		return 0, err
 	}

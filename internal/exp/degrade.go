@@ -42,8 +42,22 @@ func runDegrade(o Options, w io.Writer) error {
 		"recoveries", "retries", "dropped")
 	for _, rate := range rates {
 		for _, minimal := range []bool{true, false} {
-			topo := topology.NewMesh(side, side)
-			alg := routing.NewTurnGraphRouting(topo, core.WestFirstSet(), minimal)
+			// Ownership split (sharecache.go): fault-free rows share the
+			// process-wide topology and compiled table, while campaign
+			// rows build private copies — the fault driver mutates the
+			// topology, which must never happen to a shared instance.
+			var topo *topology.Topology
+			var alg routing.Algorithm
+			if rate == 0 {
+				topo = SharedTopology(func() *topology.Topology { return topology.NewMesh(side, side) })
+				min := minimal
+				alg = SharedAlgorithm(topo, func(t *topology.Topology) routing.Algorithm {
+					return routing.NewTurnGraphRouting(t, core.WestFirstSet(), min)
+				})
+			} else {
+				topo = topology.NewMesh(side, side)
+				alg = routing.NewTurnGraphRouting(topo, core.WestFirstSet(), minimal)
+			}
 			name := "west-first (minimal)"
 			var patience int64
 			if !minimal {

@@ -574,12 +574,16 @@ func RunFigure(f FigureSpec, o Options) ([]Sweep, error) {
 
 // runFigure measures every algorithm line of a figure, uncached. The
 // lines run in parallel, each fanning out over its load points; sem
-// bounds the total number of concurrent simulations.
+// bounds the total number of concurrent simulations. Topology and
+// relations come from the cross-leaf compile cache (sharecache.go):
+// figure leaves never mutate the fault set, so every sweep of the same
+// figure — and every figure sharing a topology — reuses one topology
+// instance and one compiled route table per relation.
 func runFigure(f FigureSpec, o Options, sem chan struct{}) ([]Sweep, error) {
-	t := f.Topology()
+	t := SharedTopology(f.Topology)
 	pat := f.Pattern(t)
 	loads := o.loads(f.Loads)
-	algs := f.Algs(t)
+	algs := SharedAlgorithms(t, f.Algs(t))
 	prog := newProgress(o, f.ID, len(algs)*len(loads))
 	sweeps := make([]Sweep, len(algs))
 	errs := make([]error, len(algs))

@@ -28,7 +28,13 @@ func init() {
 // policy-invariant; negative-first's edge moves with how eagerly the
 // policy exploits its choices.
 func runSens14(o Options, w io.Writer) error {
-	topo := topology.NewMesh(16, 16)
+	// Shared instances: the bisection runs 7 probes per (policy,
+	// relation) pair, and nothing here touches the fault set, so every
+	// probe — across all three policies — shares one topology and one
+	// compiled table per relation.
+	topo := SharedTopology(func() *topology.Topology { return topology.NewMesh(16, 16) })
+	xyAlg := SharedAlgorithm(topo, func(t *topology.Topology) routing.Algorithm { return routing.NewDimensionOrder(t) })
+	nfAlg := SharedAlgorithm(topo, func(t *topology.Topology) routing.Algorithm { return routing.NewNegativeFirst(t) })
 	pat := traffic.NewMeshTranspose(topo)
 	pols := []sim.OutputPolicy{sim.LowestDimension, sim.HighestDimension, sim.RandomPolicy}
 	tbl := stats.NewTable("output policy", "xy edge (flits/us)", "negative-first edge (flits/us)", "ratio")
@@ -59,11 +65,11 @@ func runSens14(o Options, w io.Writer) error {
 			}
 			return best, nil
 		}
-		xy, err := edge(routing.NewDimensionOrder(topo))
+		xy, err := edge(xyAlg)
 		if err != nil {
 			return err
 		}
-		nf, err := edge(routing.NewNegativeFirst(topo))
+		nf, err := edge(nfAlg)
 		if err != nil {
 			return err
 		}

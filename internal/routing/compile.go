@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"turnmodel/internal/topology"
 )
@@ -170,12 +171,25 @@ func candsEqual(a, b []Candidate) bool {
 	return true
 }
 
+// compileCount tallies every compilation attempt (successes and the
+// sticky failures, which cost nearly as much: arrival-dependence is
+// detected mid-verification). CompileCount exposes it so sweep-level
+// tests and benchmarks can assert cross-leaf sharing: a sweep whose
+// leaves share relations compiles once per distinct (topology,
+// algorithm, fault epoch), not once per leaf.
+var compileCount atomic.Int64
+
+// CompileCount returns the number of route-table compilations this
+// process has attempted.
+func CompileCount() int64 { return compileCount.Load() }
+
 // Compile builds the routing table for alg at its topology's current
 // fault epoch. It returns an error — and the caller falls back to
 // direct evaluation — when the topology is too large or the relation's
 // candidates depend on the arrival port (verified exhaustively unless
 // the relation declares ArrivalInvariant).
 func Compile(alg VCAlgorithm) (*Table, error) {
+	compileCount.Add(1)
 	t := alg.Topology()
 	n := t.Nodes()
 	if n > MaxTableNodes {
@@ -258,12 +272,14 @@ func appendSpan(tab *Table, cands []Candidate) span {
 
 // tableEntry is one cached compilation: the table at its current epoch,
 // or a sticky failure (a relation that is not compilable at one epoch
-// will not become compilable at another).
+// will not become compilable at another). pins counts PinTable holds
+// and is guarded by tableCacheMu (not e.mu), like the cache map itself.
 type tableEntry struct {
 	mu     sync.Mutex
 	table  *Table
 	failed bool
 	hooked bool
+	pins   int
 }
 
 // maxCachedTables caps the process-wide table cache. Tables are a few
@@ -294,17 +310,7 @@ func TableFor(alg VCAlgorithm) *Table {
 		return nil
 	}
 	tableCacheMu.Lock()
-	e, ok := tableCache[alg]
-	if !ok {
-		if len(tableCache) >= maxCachedTables {
-			for k := range tableCache {
-				delete(tableCache, k)
-				break
-			}
-		}
-		e = &tableEntry{}
-		tableCache[alg] = e
-	}
+	e := cacheEntryLocked(alg)
 	tableCacheMu.Unlock()
 
 	e.mu.Lock()
@@ -335,4 +341,54 @@ func TableFor(alg VCAlgorithm) *Table {
 	}
 	e.table = tab
 	return tab
+}
+
+// cacheEntryLocked returns alg's cache entry, creating it (and evicting
+// an unpinned entry if the cache is at its cap) when absent. Callers
+// hold tableCacheMu. Pinned entries never count as eviction victims;
+// when every entry is pinned the cache simply grows past the cap — the
+// cap protects against churn through short-lived algorithm instances,
+// while pins mark the long-lived shared relations the sweep layer
+// deliberately keeps.
+func cacheEntryLocked(alg VCAlgorithm) *tableEntry {
+	e, ok := tableCache[alg]
+	if !ok {
+		if len(tableCache) >= maxCachedTables {
+			for k, v := range tableCache {
+				if v.pins > 0 {
+					continue
+				}
+				delete(tableCache, k)
+				break
+			}
+		}
+		e = &tableEntry{}
+		tableCache[alg] = e
+	}
+	return e
+}
+
+// PinTable marks alg's compiled-table cache entry as exempt from the
+// size-cap eviction, so a long-lived shared relation (internal/exp's
+// cross-leaf compile cache) never loses its table to the arbitrary
+// eviction that protects against test-suite churn. It does not compile
+// anything — the first TableFor call still does that. The returned
+// release drops the pin (idempotent); pinning a non-comparable relation
+// is a no-op, matching TableFor's refusal to cache it.
+func PinTable(alg VCAlgorithm) (release func()) {
+	if alg == nil || !reflect.TypeOf(alg).Comparable() {
+		return func() {}
+	}
+	tableCacheMu.Lock()
+	e := cacheEntryLocked(alg)
+	e.pins++
+	tableCacheMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			tableCacheMu.Lock()
+			e.pins--
+			tableCacheMu.Unlock()
+		})
+	}
 }

@@ -38,6 +38,79 @@ func UnroutablePairs(alg Algorithm) int {
 	return unroutableGeneric(alg)
 }
 
+// UnroutablePairsVC is UnroutablePairs lifted to virtual-channel
+// relations: the reverse search runs over (router, arrival virtual
+// direction) states, so a pair counts as routable only when a VC-valid
+// path exists — projecting the relation onto physical directions would
+// overcount, since a VC transition permitted from one arrival channel
+// may be forbidden from another (the dateline scheme's whole point).
+func UnroutablePairsVC(alg VCAlgorithm) int {
+	t := alg.Topology()
+	n := t.Nodes()
+	ndirs := 2 * t.NumDims()
+	vcs := alg.NumVCs()
+	ports := ndirs*vcs + 1 // arrival virtual directions plus injected
+	nstates := n * ports
+	rev := make([][]int32, nstates)
+	reach := make([]bool, nstates)
+	queue := make([]int32, 0, nstates)
+	var buf []VirtualDirection
+	bad := 0
+	for dsti := 0; dsti < n; dsti++ {
+		dst := topology.NodeID(dsti)
+		for i := range rev {
+			rev[i] = rev[i][:0]
+			reach[i] = false
+		}
+		queue = queue[:0]
+		for v := 0; v < n; v++ {
+			if v == dsti {
+				for ip := 0; ip < ports; ip++ {
+					s := int32(v*ports + ip)
+					reach[s] = true
+					queue = append(queue, s)
+				}
+				continue
+			}
+			cur := topology.NodeID(v)
+			for ip := 0; ip < ports; ip++ {
+				in := VCInjected
+				if ip < ndirs*vcs {
+					in = VCArrived(VirtualDirection{Dir: topology.DirectionFromIndex(ip / vcs), VC: ip % vcs})
+				}
+				buf = alg.CandidatesVC(cur, dst, in, buf[:0])
+				for _, vd := range buf {
+					if !t.Enabled(topology.Channel{From: cur, Dir: vd.Dir}) {
+						continue
+					}
+					u, ok := t.Neighbor(cur, vd.Dir)
+					if !ok {
+						continue
+					}
+					to := int32(int(u)*ports + vd.Dir.Index()*vcs + vd.VC)
+					rev[to] = append(rev[to], int32(v*ports+ip))
+				}
+			}
+		}
+		for len(queue) > 0 {
+			s := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, from := range rev[s] {
+				if !reach[from] {
+					reach[from] = true
+					queue = append(queue, from)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v != dsti && !reach[v*ports+ndirs*vcs] {
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
 // unroutableGeneric computes UnroutablePairs for an arbitrary relation.
 // For each destination it builds the state graph whose nodes are
 // (router, arrival port) pairs — arrival ports are the 2n incoming

@@ -78,26 +78,38 @@ func TestWholeRunZeroAllocs(t *testing.T) {
 		name   string
 		m      *metrics.Collector
 		shards int
+		multVC bool
 	}{
-		{"metrics-disabled", nil, 0},
-		{"metrics-enabled", metrics.New(metrics.Config{Interval: 100}), 0},
+		{"metrics-disabled", nil, 0, false},
+		{"metrics-enabled", metrics.New(metrics.Config{Interval: 100}), 0, false},
 		// Sharded steady state must hold the same bound: the worker pool
 		// parks between cycles instead of respawning, and the deferred
 		// commit logs grow to their high-water mark then stop.
-		{"metrics-enabled-sharded", metrics.New(metrics.Config{Interval: 100}), 3},
+		{"metrics-enabled-sharded", metrics.New(metrics.Config{Interval: 100}), 3, false},
+		// Multi-VC sharded: the conflict-partitioned move's union-find,
+		// seed order, component assignment and op logs are all persistent
+		// scratch reset via dirty lists — steady state must not allocate.
+		{"multi-vc-sharded", nil, 3, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			topo := topology.NewMesh(8, 8)
-			e, err := New(Config{
-				Algorithm:     routing.NewNegativeFirst(topo),
-				Pattern:       traffic.NewUniform(topo),
+			cfg := Config{
 				OfferedLoad:   2.0,
 				WarmupCycles:  1,
 				MeasureCycles: 1 << 30,
 				Seed:          3,
 				Metrics:       tc.m,
 				Shards:        tc.shards,
-			})
+			}
+			if tc.multVC {
+				topo := topology.NewTorus(8, 2)
+				cfg.VCAlgorithm = routing.NewDatelineDOR(topo)
+				cfg.Pattern = traffic.NewUniform(topo)
+			} else {
+				topo := topology.NewMesh(8, 8)
+				cfg.Algorithm = routing.NewNegativeFirst(topo)
+				cfg.Pattern = traffic.NewUniform(topo)
+			}
+			e, err := New(cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -15,16 +15,6 @@ func (b bitset) set(i int32)      { b[i>>6] |= 1 << (uint(i) & 63) }
 func (b bitset) clear(i int32)    { b[i>>6] &^= 1 << (uint(i) & 63) }
 func (b bitset) get(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 
-// empty reports whether no bit is set.
-func (b bitset) empty() bool {
-	for _, w := range b {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
-}
-
 // setAll sets bits 0..n-1.
 func (b bitset) setAll(n int) {
 	for i := range b {
@@ -33,6 +23,21 @@ func (b bitset) setAll(n int) {
 	if rem := n & 63; rem != 0 {
 		b[len(b)-1] = 1<<uint(rem) - 1
 	}
+}
+
+// appendTo appends every set bit to dst in ascending order and returns
+// the extended slice. It is forEach without the per-bit indirect call,
+// for per-cycle hot paths that materialize the set into a worklist
+// (the conflict-partitioned move's seed-order build).
+func (b bitset) appendTo(dst []int32) []int32 {
+	for w, word := range b {
+		base := int32(w << 6)
+		for word != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return dst
 }
 
 // forEach calls fn for every set bit in ascending order. fn may clear

@@ -67,18 +67,27 @@ func TestBitsetForEachIn(t *testing.T) {
 	}
 }
 
-// TestBitsetEmpty: empty() gates the move-verdict propose region.
-func TestBitsetEmpty(t *testing.T) {
-	b := newBitset(130)
-	if !b.empty() {
-		t.Error("fresh bitset not empty")
+// TestBitsetAppendTo: appendTo is forEach flattened into a slice
+// append — the conflict-partitioned move builds its seed order with it
+// every cycle, so it must agree with forEach exactly and respect the
+// destination's existing contents.
+func TestBitsetAppendTo(t *testing.T) {
+	const n = 300
+	b := newBitset(n)
+	for _, i := range []int32{0, 1, 63, 64, 127, 128, 200, 298, 299} {
+		b.set(i)
 	}
-	b.set(129)
-	if b.empty() {
-		t.Error("bitset with bit 129 set reported empty")
+	var want []int32
+	b.forEach(func(i int32) { want = append(want, i) })
+	got := b.appendTo(nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("appendTo(nil) = %v, want %v", got, want)
 	}
-	b.clear(129)
-	if !b.empty() {
-		t.Error("cleared bitset not empty")
+	pre := b.appendTo([]int32{-7})
+	if len(pre) != len(want)+1 || pre[0] != -7 || !reflect.DeepEqual(pre[1:], want) {
+		t.Errorf("appendTo kept-prefix = %v, want [-7 %v]", pre, want)
+	}
+	if out := newBitset(n).appendTo(nil); len(out) != 0 {
+		t.Errorf("appendTo on empty set = %v, want none", out)
 	}
 }

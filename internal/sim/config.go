@@ -186,20 +186,23 @@ type Config struct {
 	MisrouteAfter int64
 
 	// Shards splits the parallelizable phases of every cycle — the
-	// allocation propose (with the move pre-pass) and, where the
-	// schedule permits, the move-verdict propose — across that many
-	// worker goroutines (routers statically partitioned into contiguous
-	// shards). 0 or 1 runs serially, preserving the single-threaded
-	// behavior exactly; ShardsAuto (-1) sizes the count automatically as
-	// min(GOMAXPROCS, routers/64). Results are bit-identical for any
-	// value, including auto: workers only compute proposals into
-	// per-shard scratch, and a serial commit applies grants, worklist
-	// updates, flit movement and observer events in the serial engine's
-	// order. Configurations whose allocation consumes the shared random
-	// stream in router-visit order (Input == RandomInput or Policy ==
-	// RandomPolicy) silently fall back to serial execution, since any
-	// partition of those draws would change the stream. See DESIGN.md,
-	// "Deterministic sharded execution".
+	// allocation propose (with the move pre-pass) and the
+	// conflict-partitioned move drain — across that many worker
+	// goroutines (routers statically partitioned into contiguous
+	// shards; the move phase instead partitions by conflict component,
+	// so every switching class shards, multi-VC and chained
+	// store-and-forward included). 0 or 1 runs serially, preserving the
+	// single-threaded behavior exactly; ShardsAuto (-1) sizes the count
+	// automatically as min(GOMAXPROCS, routers/64). Results are
+	// bit-identical for any value, including auto: workers mutate only
+	// shard-owned (or component-owned) state, and a serial commit
+	// applies grants, worklist updates, shared counters and observer
+	// events in the serial engine's order. Configurations whose
+	// allocation consumes the shared random stream in router-visit
+	// order (Input == RandomInput or Policy == RandomPolicy) silently
+	// fall back to serial execution, since any partition of those draws
+	// would change the stream. See DESIGN.md, "Deterministic sharded
+	// execution" and "Conflict-partitioned movement".
 	Shards int
 
 	// StrictAdvance disables chained advance: by default (false) a

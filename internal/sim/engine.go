@@ -141,8 +141,8 @@ type Engine struct {
 	nextPktID int64
 	inFlight  int // packets generated but not yet fully delivered
 
-	// movement worklist
-	work    []int32
+	// movement worklist membership (the worklists themselves live in the
+	// per-shard allocState scratch)
 	inWork  []bool
 	injUsed []bool // injection channel used this cycle, per injection input
 
@@ -179,15 +179,34 @@ type Engine struct {
 	shardLo     []int32
 	seedScratch []int32 // move seeding order buffer (vcs > 1)
 
-	// moveSharded marks engines whose move phase runs the parallel
-	// verdict propose (nshards > 1 and the schedule is predictable from
-	// start-of-phase state; see moveShardable). shardOf maps a router to
-	// its owning shard, for verdict lookups. mvOn is true while the
-	// current cycle's verdicts are valid — move() clears it when it
-	// skips the propose (nothing flowing), making stale memos unreadable.
+	// moveSharded marks engines whose move phase runs the conflict-
+	// partitioned parallel drain (every sharded engine: no switching
+	// class falls back to serial anymore). shardOf maps a router to its
+	// owning shard, the fallback owner for injection sweeps whose
+	// injection input is not part of any move component.
 	moveSharded bool
 	shardOf     []int32
-	mvOn        bool
+
+	// Conflict-partitioned move scratch (sharded engines only), all
+	// persistent and reset via dirty lists so steady state allocates
+	// nothing. seedOrder is the cycle's flowing inputs in the serial
+	// engine's worklist push order; seedShard maps each seed ordinal to
+	// the shard that drains its component. mvParent/mvSize are the
+	// union-find over input channels (valid only for mvEnum inputs,
+	// reset via mvTouched); mvStack is the component-discovery worklist;
+	// compShard maps a component root to its assigned shard (-1 until
+	// assignment); shardLoad counts seeds per shard for the balance
+	// heuristic; mergeCur is the commit's per-shard log cursor.
+	seedOrder []int32
+	seedShard []int32
+	mvParent  []int32
+	mvSize    []int32
+	mvTouched []int32
+	mvStack   []int32
+	compShard []int32
+	shardLoad []int32
+	mergeCur  []int32
+	mvEnum    []bool
 
 	// lenStart snapshots each buffer's length at the start of the move
 	// phase (strict-advance mode only, nil otherwise). Sharded engines
@@ -767,11 +786,15 @@ func (e *Engine) fillCandCache(v int, b *inbuf, pkt *packet, epoch int32, st *al
 	b.candEpoch = epoch
 }
 
-// pushWork schedules input buffer in for a movement attempt this cycle.
-func (e *Engine) pushWork(in int32) {
+// pushWork schedules input buffer in for a movement attempt this cycle
+// on the calling shard's worklist. Sharded drains only ever push inputs
+// of their own components (cascade targets are component-local by
+// construction, see shard.go), so the shared inWork bytes have a single
+// writer per cycle.
+func (e *Engine) pushWork(in int32, st *allocState) {
 	if in >= 0 && !e.inWork[in] {
 		e.inWork[in] = true
-		e.work = append(e.work, in)
+		st.work = append(st.work, in)
 	}
 }
 
@@ -785,22 +808,38 @@ func (e *Engine) pushAllocWork(r int32) { e.allocWork.set(r) }
 // preferred virtual channel is pushed last (the worklist pops LIFO) and
 // the preference rotates with the cycle, a round-robin that prevents one
 // virtual channel from starving the other.
-func (e *Engine) seedMoveWork() {
+func (e *Engine) seedMoveWork(st *allocState) {
 	if e.vcs == 1 {
 		// One virtual channel: ascending input order is exactly the
 		// arbitration order.
-		e.flowing.forEach(e.pushWork)
+		e.flowing.forEach(func(i int32) { e.pushWork(i, st) })
 		return
 	}
-	buf := e.seedScratch[:0]
-	e.flowing.forEach(func(i int32) { buf = append(buf, i) })
+	e.buildSeedOrder()
+	for _, i := range e.seedOrder {
+		e.pushWork(i, st)
+	}
+}
+
+// buildSeedOrder fills e.seedOrder with the cycle's flowing inputs in
+// worklist push order: routers ascending, physical directions ascending,
+// injection channel last, and within each physical direction the virtual
+// channels in the cycle-rotated round-robin order (the preferred channel
+// last, because the drain pops LIFO).
+func (e *Engine) buildSeedOrder() {
+	if e.vcs == 1 {
+		e.seedOrder = e.flowing.appendTo(e.seedOrder[:0])
+		return
+	}
+	e.seedOrder = e.seedOrder[:0]
+	buf := e.flowing.appendTo(e.seedScratch[:0])
 	e.seedScratch = buf[:0]
 	rot := int(e.cycle) % e.vcs
 	for idx := 0; idx < len(buf); {
 		i := buf[idx]
 		port := int(i) % e.vport
 		if port == e.vport-1 {
-			e.pushWork(i)
+			e.seedOrder = append(e.seedOrder, i)
 			idx++
 			continue
 		}
@@ -815,7 +854,7 @@ func (e *Engine) seedMoveWork() {
 			want := dirBase + int32((rot+k)%e.vcs)
 			for g := idx; g < end; g++ {
 				if buf[g] == want {
-					e.pushWork(want)
+					e.seedOrder = append(e.seedOrder, want)
 					break
 				}
 			}
@@ -829,7 +868,9 @@ func (e *Engine) seedMoveWork() {
 // in an order that rotates with the cycle count. In chained mode,
 // freeing a buffer slot immediately lets the upstream flit advance into
 // it (the worm moves as a synchronized train); in strict mode only space
-// available at the start of the cycle counts.
+// available at the start of the cycle counts. Sharded engines run the
+// conflict-partitioned parallel drain (shard.go) for every switching
+// class; results are bit-identical to this serial path.
 func (e *Engine) move() {
 	if e.cfg.StrictAdvance && e.nshards <= 1 {
 		// Sharded engines fill the snapshot in the parallel pre-pass
@@ -839,40 +880,37 @@ func (e *Engine) move() {
 			e.lenStart[i] = int32(len(e.inbufs[i].q))
 		}
 	}
-	if e.moveSharded {
-		// Parallel verdict propose: each shard precomputes whether its
-		// flowing inputs' front flits leave this cycle. The serial drain
-		// below trusts those verdicts in place of the readiness and
-		// blocked-space checks; inputs the propose never saw (vUnknown)
-		// take the live-check path, so skipping the region when nothing
-		// is flowing is safe, not just fast.
-		e.mvOn = !e.flowing.empty()
-		if e.mvOn {
-			e.proposeMoves()
-		}
+	if e.nshards > 1 {
+		e.moveParallel()
+		return
 	}
+	st := &e.shards[0]
 	// inWork is all-false here: the previous drain popped (and cleared)
 	// every entry it pushed.
-	e.work = e.work[:0]
-	e.seedMoveWork()
+	st.work = st.work[:0]
+	e.seedMoveWork(st)
 	// Source-queue injections are attempted for every nonempty queue.
 	for v := range e.queues {
 		if e.queues[v].len() > 0 {
-			e.tryInject(topology.NodeID(v))
+			e.tryInject(topology.NodeID(v), st)
 		}
 	}
-	for len(e.work) > 0 {
-		in := e.work[len(e.work)-1]
-		e.work = e.work[:len(e.work)-1]
+	for len(st.work) > 0 {
+		in := st.work[len(st.work)-1]
+		st.work = st.work[:len(st.work)-1]
 		e.inWork[in] = false
-		e.moveOne(in)
+		e.moveOne(in, st)
 	}
 }
 
 // tryInject moves the next flit of the source queue's head packet into
 // the injection buffer, modeling the processor-to-router channel
-// (bandwidth one flit per cycle).
-func (e *Engine) tryInject(v topology.NodeID) {
+// (bandwidth one flit per cycle). Buffer and queue mutations happen
+// immediately; everything shared across components — bitsets, dirty
+// lists, metrics, observer callbacks, global counters — goes through
+// st.logInject, which applies it inline when serial and defers it to
+// the ordered commit when the drain runs sharded.
+func (e *Engine) tryInject(v topology.NodeID, st *allocState) {
 	q := &e.queues[v]
 	if q.len() == 0 {
 		return
@@ -888,32 +926,51 @@ func (e *Engine) tryInject(v topology.NodeID) {
 	p := q.front()
 	f := flit{p: p, head: p.flitsSent == 0, tail: p.flitsSent == p.length-1}
 	b.q = append(b.q, f)
-	if e.m != nil {
-		e.m.Occupancy[v]++
-		e.m.InjectedFlits++
-	}
+	var flag uint8
 	if b.allocOut >= 0 {
-		e.flowing.set(in)
+		flag |= fFlowSet
 	}
 	if f.head {
+		flag |= fHead
 		b.headArrival = e.cycle
 		p.injectCycle = e.cycle
 		if len(b.q) == 1 {
-			e.pushAllocWork(int32(v))
+			flag |= fWakeSelf
+		}
+	}
+	p.flitsSent++
+	p.lastProgress = e.cycle
+	e.injUsed[in] = true
+	if f.tail {
+		q.pop()
+	}
+	st.logInject(e, in, p, flag)
+}
+
+// applyInject performs the shared-state side of one injection: metrics,
+// the flowing bit, the allocation wake-up, the observer callback and the
+// global counters, in the serial engine's order. Serial engines call it
+// inline from tryInject; sharded drains log the call and the commit
+// replays it in ascending node order.
+func (e *Engine) applyInject(in int32, p *packet, flag uint8) {
+	if e.m != nil {
+		e.m.Occupancy[int(in)/e.vport]++
+		e.m.InjectedFlits++
+	}
+	if flag&fFlowSet != 0 {
+		e.flowing.set(in)
+	}
+	if flag&fHead != 0 {
+		if flag&fWakeSelf != 0 {
+			e.pushAllocWork(int32(int(in) / e.vport))
 		}
 		if e.cfg.Observer != nil {
 			e.cfg.Observer.Inject(e.cycle, p.src, p.dst, p.length)
 		}
 	}
-	p.flitsSent++
-	p.lastProgress = e.cycle
 	e.flitsInjectedEver++
-	e.injUsed[in] = true
 	e.dirtyInj = append(e.dirtyInj, in)
 	e.lastMove = e.cycle
-	if f.tail {
-		q.pop()
-	}
 }
 
 func (e *Engine) hasSpace(in int32, b *inbuf) bool {
@@ -952,8 +1009,14 @@ func (e *Engine) tailAtFront(b *inbuf) bool {
 	return false
 }
 
-// moveOne attempts to advance the front flit of input buffer in.
-func (e *Engine) moveOne(in int32) {
+// moveOne attempts to advance the front flit of input buffer in. Like
+// tryInject, it mutates buffers, channel holds and packet bookkeeping in
+// place and routes every cross-component side effect through st.logMove:
+// serial engines apply the shared-state bundle inline at the same point
+// in the schedule, sharded drains defer it to the ordered commit. The
+// bundle flags capture post-mutation facts (queue emptied, head/tail,
+// wake-ups due), so the replay needs no access to drain-time state.
+func (e *Engine) moveOne(in int32, st *allocState) {
 	b := &e.inbufs[in]
 	if len(b.q) == 0 || b.allocOut < 0 {
 		return
@@ -963,24 +1026,7 @@ func (e *Engine) moveOne(in int32) {
 	if e.linkUsed[phys] {
 		return
 	}
-	if e.mvOn {
-		// The propose phase already folded readiness and the space fixed
-		// point into one verdict. vNo exits before any state is touched
-		// — exactly where the serial checks would have given up — and
-		// vYes skips the store-and-forward tail scan; the live space
-		// check below still times the move correctly within the cascade
-		// schedule (a vYes move into a still-full buffer waits for the
-		// cascade retry, as the serial engine's would).
-		switch e.verdictFor(in) {
-		case vNo:
-			return
-		case vYes:
-		default:
-			if !e.readyToForward(in, b) {
-				return
-			}
-		}
-	} else if !e.readyToForward(in, b) {
+	if !e.readyToForward(in, b) {
 		return
 	}
 	f := b.q[0]
@@ -988,31 +1034,22 @@ func (e *Engine) moveOne(in int32) {
 	if dest < 0 {
 		// Ejection: the destination processor consumes immediately.
 		e.linkUsed[phys] = true
-		e.dirtyLinks = append(e.dirtyLinks, phys)
-		if e.stats.measuring {
-			e.linkFlits[phys]++
+		var flag uint8
+		if e.popFrontQ(in, b) {
+			flag |= fFlowClear
 		}
-		if e.m != nil {
-			r := int(in) / e.vport
-			e.m.ChannelFlits[phys]++
-			e.m.RouterFlits[r]++
-			e.m.Occupancy[r]--
-			e.m.DeliveredFlits++
-		}
-		e.popFront(in, b)
 		f.p.flitsDelivered++
 		f.p.lastProgress = e.cycle
-		e.flitsDeliveredEver++
-		e.lastMove = e.cycle
 		if f.tail {
-			e.deliver(f.p)
-			e.release(in, out)
-			if len(b.q) > 0 && b.q[0].head {
-				e.pushAllocWork(int32(int(in) / e.vport))
-			}
+			// The tail passed: deliver the packet, free the ejection
+			// channel, and wake the router's allocation scan (the release
+			// always wakes it; a new front header would only wake the
+			// same router again).
+			flag |= fTail | fFlowClear | fWakeSelf
+			e.releaseCh(in, out)
 		}
-		e.cascade(in, b)
-		e.countDeliveredFlit()
+		st.logMove(e, moEject, in, out, flag, f.p)
+		e.cascade(in, b, st)
 		return
 	}
 	db := &e.inbufs[dest]
@@ -1020,6 +1057,73 @@ func (e *Engine) moveOne(in int32) {
 		return
 	}
 	e.linkUsed[phys] = true
+	var flag uint8
+	if f.head {
+		flag |= fHead
+	}
+	if e.popFrontQ(in, b) {
+		flag |= fFlowClear
+	}
+	db.q = append(db.q, f)
+	if e.readyBits != nil {
+		e.readyBits[dest] = false
+	}
+	if db.allocOut >= 0 {
+		flag |= fFlowSet
+	}
+	f.p.lastProgress = e.cycle
+	if f.head {
+		db.headArrival = e.cycle
+		f.p.hops++
+		if len(db.q) == 1 {
+			flag |= fWakeDest
+		}
+	}
+	if f.tail {
+		flag |= fTail | fFlowClear | fWakeSelf
+		e.releaseCh(in, out)
+	}
+	st.logMove(e, moForward, in, out, flag, nil)
+	e.cascade(in, b, st)
+}
+
+// applyEject performs the shared-state side of one ejection move:
+// metrics, link accounting, delivery finalization, the flowing bit and
+// the wake-up, in the serial engine's order.
+func (e *Engine) applyEject(in, out int32, flag uint8, p *packet) {
+	phys := e.physOf[out]
+	e.dirtyLinks = append(e.dirtyLinks, phys)
+	if e.stats.measuring {
+		e.linkFlits[phys]++
+	}
+	if e.m != nil {
+		r := int(in) / e.vport
+		e.m.ChannelFlits[phys]++
+		e.m.RouterFlits[r]++
+		e.m.Occupancy[r]--
+		e.m.DeliveredFlits++
+	}
+	e.flitsDeliveredEver++
+	e.lastMove = e.cycle
+	if flag&fFlowClear != 0 {
+		e.flowing.clear(in)
+	}
+	if flag&fTail != 0 {
+		e.deliver(p)
+	}
+	if flag&fWakeSelf != 0 {
+		e.pushAllocWork(int32(int(in) / e.vport))
+	}
+	e.countDeliveredFlit()
+}
+
+// applyForward performs the shared-state side of one link traversal:
+// metrics, the observer callback, both flowing bits and the wake-ups,
+// in the serial engine's order. dest and phys are recomputed from the
+// static topology arrays, so the op log carries only (in, out, flags).
+func (e *Engine) applyForward(in, out int32, flag uint8) {
+	phys := e.physOf[out]
+	dest := e.outDest[out]
 	e.dirtyLinks = append(e.dirtyLinks, phys)
 	if e.stats.measuring {
 		e.linkFlits[phys]++
@@ -1035,66 +1139,57 @@ func (e *Engine) moveOne(in int32) {
 		e.cfg.Observer.Forward(e.cycle, topology.Channel{
 			From: topology.NodeID(int(out) / e.vport),
 			Dir:  topology.DirectionFromIndex(p / e.vcs),
-		}, p%e.vcs, f.head, f.tail)
+		}, p%e.vcs, flag&fHead != 0, flag&fTail != 0)
 	}
-	e.popFront(in, b)
-	db.q = append(db.q, f)
-	if e.readyBits != nil {
-		e.readyBits[dest] = false
+	if flag&fFlowClear != 0 {
+		e.flowing.clear(in)
 	}
-	if db.allocOut >= 0 {
+	if flag&fFlowSet != 0 {
 		e.flowing.set(dest)
 	}
 	e.lastMove = e.cycle
-	f.p.lastProgress = e.cycle
-	if f.head {
-		db.headArrival = e.cycle
-		f.p.hops++
-		if len(db.q) == 1 {
-			e.pushAllocWork(int32(int(dest) / e.vport))
-		}
+	if flag&fWakeDest != 0 {
+		e.pushAllocWork(int32(int(dest) / e.vport))
 	}
-	if f.tail {
-		e.release(in, out)
-		if len(b.q) > 0 && b.q[0].head {
-			e.pushAllocWork(int32(int(in) / e.vport))
-		}
+	if flag&fWakeSelf != 0 {
+		e.pushAllocWork(int32(int(in) / e.vport))
 	}
-	e.cascade(in, b)
 }
 
-// popFront removes the front flit of input buffer in.
-func (e *Engine) popFront(in int32, b *inbuf) {
+// popFrontQ removes the front flit of input buffer in and reports
+// whether the buffer is now empty (the caller folds that into the
+// bundle's flowing-clear flag).
+func (e *Engine) popFrontQ(in int32, b *inbuf) bool {
 	copy(b.q, b.q[1:])
 	b.q = b.q[:len(b.q)-1]
 	if e.readyBits != nil {
 		e.readyBits[in] = false
 	}
-	if len(b.q) == 0 {
-		e.flowing.clear(in)
-	}
+	return len(b.q) == 0
 }
 
-// release frees the virtual output channel held through input in after
-// the tail flit passed, and wakes the router's allocation scan: a header
-// blocked on that output may now proceed.
-func (e *Engine) release(in, out int32) {
+// releaseCh frees the virtual output channel held through input in after
+// the tail flit passed. The flowing clear and the allocation wake-up
+// ride the move bundle's flags.
+func (e *Engine) releaseCh(in, out int32) {
 	e.busyBy[out] = -1
 	e.inbufs[in].allocOut = -1
-	e.flowing.clear(in)
-	e.pushAllocWork(int32(int(out) / e.vport))
 }
 
 // cascade schedules the feeder of input buffer in, which may now have
-// space to receive a flit (chained advance).
-func (e *Engine) cascade(in int32, b *inbuf) {
+// space to receive a flit (chained advance). Under a sharded drain both
+// targets are component-local: the feeder held its channel when the
+// components were built (channel holds only get released, never
+// acquired, during movement), so the feeder edge put it in in's
+// component, and the injection path touches only in's own router.
+func (e *Engine) cascade(in int32, b *inbuf, st *allocState) {
 	if e.cfg.StrictAdvance {
 		return
 	}
 	if int(b.port) == e.vport-1 {
 		// Injection buffer freed: the source queue may inject.
 		v := topology.NodeID(int(in) / e.vport)
-		e.tryInject(v)
+		e.tryInject(v, st)
 		return
 	}
 	up := e.upOut[in]
@@ -1103,7 +1198,7 @@ func (e *Engine) cascade(in int32, b *inbuf) {
 	}
 	feeder := e.busyBy[up]
 	if feeder >= 0 {
-		e.pushWork(feeder)
+		e.pushWork(feeder, st)
 	}
 }
 

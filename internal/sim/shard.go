@@ -12,18 +12,25 @@ import (
 // This file implements the deterministic sharded phases: Config.Shards
 // > 1 partitions the routers into contiguous shards and runs the two
 // parallelizable per-cycle regions — allocation propose (plus the move
-// pre-pass) and the move-verdict propose — on a persistent worker pool,
-// one goroutine per shard. Both regions follow the same discipline:
-// workers only read shared engine state and write per-shard scratch,
-// and a serial commit applies every shared mutation, observer callback
-// and metric in the serial engine's order, so results are bit-identical
-// at any shard count. Configurations that consume the random stream
-// during allocation (RandomInput, RandomPolicy) fall back to serial
-// execution (see initShards); configurations whose move schedule cannot
-// be predicted from start-of-phase state (multiple virtual channels,
-// chained store-and-forward) keep the move propose off and run the
-// serial move phase unchanged (see moveShardable). DESIGN.md,
-// "Deterministic sharded execution", derives the invariants.
+// pre-pass) and the conflict-partitioned move drain — on a persistent
+// worker pool, one goroutine per shard. Allocation follows a
+// propose/commit discipline: workers only read shared engine state and
+// write per-shard scratch, and a serial commit applies every shared
+// mutation, observer callback and metric in the serial engine's order.
+// The move phase is partitioned by conflict instead: each cycle a
+// union-find over the input channels groups the flowing worms into
+// independent components (per-link virtual-channel wait chains, feeder
+// cascades, destination couplings), whole components are handed to
+// shards, and each shard replays the serial drain schedule on its
+// components — mutating buffers and channel holds in place, logging
+// every cross-component side effect — while a serial commit replays the
+// logs in the serial engine's exact order. Results are bit-identical at
+// any shard count for every switching class (multi-VC and chained
+// store-and-forward included; no serial fallback remains in the move
+// phase). Configurations that consume the random stream during
+// allocation (RandomInput, RandomPolicy) still fall back to fully
+// serial execution (see initShards). DESIGN.md, "Deterministic sharded
+// execution", derives the invariants.
 
 // ShardsAuto is the Config.Shards value that sizes the shard count
 // automatically: min(GOMAXPROCS, routers/64), at least one. The /64
@@ -35,20 +42,43 @@ const ShardsAuto = -1
 const (
 	phaseExit  int32 = -1 // workers return (Close)
 	phaseAlloc int32 = 0  // allocation propose + move pre-pass
-	phaseMove  int32 = 1  // move-verdict propose
+	phaseMove  int32 = 1  // conflict-partitioned move drain
 )
 
-// Move-verdict memo states. vUnknown entries were never evaluated by
-// the propose phase (the input was not flowing when it ran); the
-// commit falls back to the serial live checks for them, so a skipped
-// or partial propose degrades to exact serial behavior, never to a
-// wrong result.
+// moveOp kinds: the entries of the per-shard move logs the serial
+// commit replays. moChunk is a marker, not an effect: it opens the run
+// of ops one seed's drain produced, so the commit can interleave chunks
+// from different shards in the serial engine's seed order.
 const (
-	vUnknown int8 = iota
-	vInProgress
-	vYes
-	vNo
+	moChunk   uint8 = iota // a = seed ordinal; starts that seed's op run
+	moInject               // a = injection input, p = packet
+	moForward              // a = input, b = output
+	moEject                // a = input, b = output, p = delivered packet
 )
+
+// moveOp bundle flags, capturing post-mutation facts at log time so the
+// replay is state-free. fWakeSelf folds the release wake-up and the
+// new-front-header wake-up together — both target the moving input's
+// own router, and the allocation worklist bit is idempotent.
+const (
+	fHead      uint8 = 1 << iota // the moved flit was a header
+	fTail                        // the moved flit was a tail (deliver/release)
+	fFlowSet                     // set the destination's flowing bit
+	fFlowClear                   // clear the source's flowing bit
+	fWakeSelf                    // wake the source router's allocation scan
+	fWakeDest                    // wake the destination router's allocation scan
+)
+
+// moveOp is one logged move-phase effect. 16 bytes + the packet pointer;
+// per-shard logs are truncated each cycle and grown to their high-water
+// mark, so steady state appends without allocating.
+type moveOp struct {
+	kind uint8
+	flag uint8
+	a    int32
+	b    int32
+	p    *packet
+}
 
 // shardGate is the per-cycle barrier between the stepping goroutine
 // (the coordinator, which doubles as shard zero's worker) and the
@@ -174,9 +204,10 @@ func (g *shardGate) awaitDone() {
 
 // allocState is one shard's scratch: the reusable buffers
 // allocateRouter needs plus, when deferred commits are on, the logs the
-// serial commit replays and the move-verdict memo. A serial engine owns
-// a single allocState with deferred == false, in which case setFlowing
-// and observeAllocate apply immediately and the logs stay empty.
+// serial commit replays — allocation's flow/worklist/observer logs and
+// the move drain's op logs. A serial engine owns a single allocState
+// with deferred == false, in which case setFlowing, observeAllocate,
+// logInject and logMove apply immediately and the logs stay empty.
 type allocState struct {
 	deferred bool
 
@@ -192,13 +223,19 @@ type allocState struct {
 	clearRouters []int32      // routers to drop from the allocation worklist
 	events       []allocEvent // observer Allocate calls, in grant order
 
-	// Move-verdict memo (moveShardable engines only): one entry per
-	// input buffer, reset lazily via mvTouched at the start of each
-	// propose. Each shard owns a full-size memo — chain walks cross
-	// shard boundaries read-only, so shards memoize foreign inputs
-	// privately rather than sharing words.
-	mvVerdict []int8
-	mvTouched []int32
+	// Conflict-partitioned move drain state. work is the shard's LIFO
+	// movement worklist (the serial engine uses shard zero's). seedIdx
+	// holds the ordinals (into Engine.seedOrder) of the seeds whose
+	// components this shard drains; injNodes the nodes whose injection
+	// sweep it owns. injLog collects the sweep injections' deferred
+	// effects, chunkLog the per-seed drain runs delimited by moChunk
+	// markers; cur points at whichever of the two the drain is filling.
+	work     []int32
+	seedIdx  []int32
+	injNodes []int32
+	injLog   []moveOp
+	chunkLog []moveOp
+	cur      *[]moveOp
 }
 
 // allocEvent is one deferred Observer.Allocate call.
@@ -232,29 +269,31 @@ func (st *allocState) observeAllocate(e *Engine, at topology.NodeID, dir topolog
 	e.cfg.Observer.Allocate(e.cycle, at, dir, vc, eject)
 }
 
-// moveShardable reports whether the move phase's outcome can be
-// predicted per input from start-of-phase state, the precondition for
-// the parallel verdict propose:
-//
-//   - One virtual channel per direction: each physical link then has a
-//     single possible holder, so link arbitration degenerates to "did
-//     this input already move", and every input buffer has exactly one
-//     feeder — the dependency graph is a set of disjoint chains whose
-//     fixed point the propose can evaluate.
-//   - Store-and-forward only under StrictAdvance: chained
-//     store-and-forward readiness can flip mid-drain when a cascade
-//     retry lands after a same-cycle tail arrival, which only a full
-//     schedule replay could predict. Strict mode runs a single
-//     descending pass, where a same-cycle tail is visible exactly when
-//     the feeder's index is higher than the receiver's.
-func (e *Engine) moveShardable() bool {
-	if e.vcs != 1 {
-		return false
+// logInject records one injection's shared-state effects: applied
+// immediately when serial, appended to the active move log when the
+// drain runs sharded (the commit replays sweep injections in ascending
+// node order, cascade injections inside their chunk).
+func (st *allocState) logInject(e *Engine, in int32, p *packet, flag uint8) {
+	if st.deferred {
+		*st.cur = append(*st.cur, moveOp{kind: moInject, flag: flag, a: in, p: p})
+		return
 	}
-	if e.cfg.holdsWholePacket() && !e.cfg.StrictAdvance {
-		return false
+	e.applyInject(in, p, flag)
+}
+
+// logMove records one forward/eject move's shared-state effects:
+// applied immediately when serial, appended to the chunk log when the
+// drain runs sharded.
+func (st *allocState) logMove(e *Engine, kind uint8, in, out int32, flag uint8, p *packet) {
+	if st.deferred {
+		*st.cur = append(*st.cur, moveOp{kind: kind, flag: flag, a: in, b: out, p: p})
+		return
 	}
-	return true
+	if kind == moEject {
+		e.applyEject(in, out, flag, p)
+	} else {
+		e.applyForward(in, out, flag)
+	}
 }
 
 // initShards resolves the configured shard count and builds the
@@ -304,18 +343,23 @@ func (e *Engine) initShards(n, ndim2 int) {
 		if e.cfg.holdsWholePacket() {
 			e.readyBits = make([]bool, n*e.vport)
 		}
-		if e.moveShardable() {
-			e.moveSharded = true
-			e.shardOf = make([]int32, n)
-			for s := 0; s < ns; s++ {
-				for v := e.shardLo[s]; v < e.shardLo[s+1]; v++ {
-					e.shardOf[v] = int32(s)
-				}
-			}
-			for s := range e.shards {
-				e.shards[s].mvVerdict = make([]int8, n*e.vport)
+		// Every sharded engine runs the conflict-partitioned move drain:
+		// component independence, not switching-class structure, is what
+		// makes the parallel schedule exact, so no class is excluded.
+		e.moveSharded = true
+		e.shardOf = make([]int32, n)
+		for s := 0; s < ns; s++ {
+			for v := e.shardLo[s]; v < e.shardLo[s+1]; v++ {
+				e.shardOf[v] = int32(s)
 			}
 		}
+		nin := n * e.vport
+		e.mvParent = make([]int32, nin)
+		e.mvSize = make([]int32, nin)
+		e.compShard = make([]int32, nin)
+		e.mvEnum = make([]bool, nin)
+		e.shardLoad = make([]int32, ns)
+		e.mergeCur = make([]int32, ns)
 	}
 }
 
@@ -337,7 +381,7 @@ func (e *Engine) runRegion(ph, epoch int32) {
 	if ph == phaseAlloc {
 		e.runShard(0, epoch)
 	} else {
-		e.runMoveShard(0)
+		e.runMoveShardDrain(0)
 	}
 	g.awaitDone()
 	e.gateMu.Unlock()
@@ -405,119 +449,276 @@ func (e *Engine) runShard(s int, epoch int32) {
 	}
 }
 
-// proposeMoves runs the move-verdict region: every shard computes, for
-// its flowing inputs, whether the front flit will leave this cycle.
-// The region is read-only on shared state — each shard memoizes into
-// its own verdict array, including for cross-shard chain nodes — and
-// runs after the allocation commit, so it sees this cycle's grants.
-func (e *Engine) proposeMoves() {
+// moveParallel is the sharded move phase: discover this cycle's
+// conflict components serially (cheap pointer-chasing over flat arrays,
+// zero-alloc), hand whole components to shards, drain them in parallel
+// behind the existing gate, and replay the deferred side-effect logs in
+// the serial engine's order. Determinism rests on two facts derived in
+// DESIGN.md, "Conflict-partitioned movement":
+//
+//   - Components are closed under every drain-time interaction. All
+//     state a drain touches — queues it pops or appends, channel holds
+//     it releases, link-usage slots it claims, cascade targets it
+//     pushes, injections it attempts — belongs to inputs reachable from
+//     its seeds through the dest/feeder/link-sibling edges, all of
+//     which the discovery walk expands. Channel holds only get
+//     released during movement, never acquired, so edges computed
+//     before the drain cannot appear mid-drain.
+//   - Inside one component, each shard replays the serial schedule
+//     exactly: seeds are drained in descending seed-order (the serial
+//     LIFO pop order), pending seeds are pre-marked in-work so cascade
+//     pushes skip them just as the serial stack does, and each seed's
+//     cascade subtree runs to exhaustion before the next seed — which
+//     is precisely what the serial LIFO does, because cascades only
+//     push component-local inputs.
+func (e *Engine) moveParallel() {
+	e.buildSeedOrder()
+	e.buildMoveComponents()
+	e.assignMoveWork()
 	e.runRegion(phaseMove, 0)
+	e.commitMoves()
 }
 
-// runMoveShard computes shard s's slice of the move verdicts.
-func (e *Engine) runMoveShard(s int) {
+// mvVisit enumerates input in as a member of this cycle's dependency
+// structure: a fresh singleton union-find node, queued for edge
+// expansion.
+func (e *Engine) mvVisit(in int32) {
+	if e.mvEnum[in] {
+		return
+	}
+	e.mvEnum[in] = true
+	e.mvParent[in] = in
+	e.mvSize[in] = 1
+	e.compShard[in] = -1
+	e.mvTouched = append(e.mvTouched, in)
+	e.mvStack = append(e.mvStack, in)
+}
+
+// mvFind returns in's component root, with path halving.
+func (e *Engine) mvFind(in int32) int32 {
+	for e.mvParent[in] != in {
+		e.mvParent[in] = e.mvParent[e.mvParent[in]]
+		in = e.mvParent[in]
+	}
+	return in
+}
+
+// mvUnion merges the components of a and b, by size.
+func (e *Engine) mvUnion(a, b int32) {
+	ra, rb := e.mvFind(a), e.mvFind(b)
+	if ra == rb {
+		return
+	}
+	if e.mvSize[ra] < e.mvSize[rb] {
+		ra, rb = rb, ra
+	}
+	e.mvParent[rb] = ra
+	e.mvSize[ra] += e.mvSize[rb]
+}
+
+// buildMoveComponents enumerates every channel holder reachable from
+// this cycle's flowing inputs and unions the ones that can interact
+// during the drain. A holder is an input whose packet holds an output
+// channel (allocOut >= 0); empty-buffer holders (worm bubbles) matter
+// too, because a cascade can hand them a flit and move it on in the
+// same cycle. Three edge kinds cover every drain-time interaction:
+//
+//   - dest: in forwards into d = outDest[allocOut]; if d itself holds a
+//     channel, in's append races d's pops (and, chained, d's pop is
+//     what unblocks in), so they must drain on one shard.
+//   - feeder: the holder of in's upstream output cascades into in (and
+//     its same-cycle tail arrival flips store-and-forward readiness).
+//   - link siblings (vcs > 1): every holder of a virtual channel on
+//     in's output's physical link arbitrates for the same linkUsed
+//     slot, in seed-rotation order.
+//
+// The edge relation is symmetric (dest and feeder are the two readings
+// of the same busyBy/outDest pair; link siblings are mutual), and the
+// walk expands the edges of every enumerated holder — not just seeds —
+// so enumeration is closed under reachability: anything a component's
+// drain can touch is in the component.
+func (e *Engine) buildMoveComponents() {
+	for _, i := range e.mvTouched {
+		e.mvEnum[i] = false
+	}
+	e.mvTouched = e.mvTouched[:0]
+	e.mvStack = e.mvStack[:0]
+	for _, in := range e.seedOrder {
+		e.mvVisit(in)
+	}
+	for len(e.mvStack) > 0 {
+		in := e.mvStack[len(e.mvStack)-1]
+		e.mvStack = e.mvStack[:len(e.mvStack)-1]
+		out := e.inbufs[in].allocOut
+		if d := e.outDest[out]; d >= 0 && e.inbufs[d].allocOut >= 0 {
+			e.mvVisit(d)
+			e.mvUnion(in, d)
+		}
+		if up := e.upOut[in]; up >= 0 {
+			if f := e.busyBy[up]; f >= 0 {
+				e.mvVisit(f)
+				e.mvUnion(in, f)
+			}
+		}
+		if e.vcs > 1 {
+			if p := int(out) % e.vport; p != e.vport-1 {
+				dirBase := out - int32(p%e.vcs)
+				for c := int32(0); c < int32(e.vcs); c++ {
+					if h := e.busyBy[dirBase+c]; h >= 0 && h != in {
+						e.mvVisit(h)
+						e.mvUnion(in, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// assignMoveWork distributes whole components across the shards (seeds
+// of one component always land together, least-loaded shard wins ties
+// toward lower indices — all deterministic) and partitions the
+// injection sweep: a node whose injection input belongs to a component
+// is swept by that component's shard (its drain may race the sweep for
+// the injection buffer); every other node stays with its contiguous
+// range owner.
+func (e *Engine) assignMoveWork() {
+	for s := range e.shards {
+		st := &e.shards[s]
+		st.seedIdx = st.seedIdx[:0]
+		st.injNodes = st.injNodes[:0]
+		e.shardLoad[s] = 0
+	}
+	e.seedShard = e.seedShard[:0]
+	for k, in := range e.seedOrder {
+		r := e.mvFind(in)
+		s := e.compShard[r]
+		if s < 0 {
+			s = 0
+			for t := int32(1); t < int32(e.nshards); t++ {
+				if e.shardLoad[t] < e.shardLoad[s] {
+					s = t
+				}
+			}
+			e.compShard[r] = s
+		}
+		e.shardLoad[s]++
+		e.seedShard = append(e.seedShard, s)
+		e.shards[s].seedIdx = append(e.shards[s].seedIdx, int32(k))
+	}
+	for v := range e.queues {
+		if e.queues[v].len() == 0 {
+			continue
+		}
+		inj := e.injectionIn(topology.NodeID(v))
+		var s int32
+		if e.mvEnum[inj] {
+			// Every enumerated input is union-connected to a seed (the
+			// walk starts at seeds and unions on visit), so its component
+			// root was assigned a shard above; the fallback is defensive.
+			s = e.compShard[e.mvFind(inj)]
+			if s < 0 {
+				s = e.shardOf[v]
+			}
+		} else {
+			s = e.shardOf[v]
+		}
+		e.shards[s].injNodes = append(e.shards[s].injNodes, int32(v))
+	}
+}
+
+// runMoveShardDrain runs shard s's slice of the move phase: its owned
+// injection sweeps in ascending node order, then its components in the
+// serial engine's seed order, logging every shared-state effect for the
+// ordered commit. All in-place mutations (buffers, channel holds,
+// link-usage slots, packet bookkeeping, the inWork bytes) are component-
+// local, so shards never write the same memory.
+func (e *Engine) runMoveShardDrain(s int) {
 	st := &e.shards[s]
-	for _, i := range st.mvTouched {
-		st.mvVerdict[i] = vUnknown
+	st.injLog = st.injLog[:0]
+	st.chunkLog = st.chunkLog[:0]
+	st.work = st.work[:0]
+	// Pre-mark every owned seed: a cascade reaching a seed not yet
+	// drained must be skipped (the serial LIFO pop would find it already
+	// on the stack), while one reaching an already-drained seed re-runs
+	// it inside the current chunk (the serial stack would have re-pushed
+	// it). The pre-mark makes both fall out of the inWork check.
+	for _, k := range st.seedIdx {
+		e.inWork[e.seedOrder[k]] = true
 	}
-	st.mvTouched = st.mvTouched[:0]
-	inLo := int32(int(e.shardLo[s]) * e.vport)
-	inHi := int32(int(e.shardLo[s+1]) * e.vport)
-	e.flowing.forEachIn(inLo, inHi, func(in int32) {
-		e.moveVerdict(st, in)
-	})
-}
-
-// moveVerdict resolves (and memoizes) whether input in's front flit
-// leaves its buffer this cycle, assuming start-of-move-phase state.
-// Chain walks may cross shard boundaries; they only read shared state
-// and write the calling shard's memo.
-func (e *Engine) moveVerdict(st *allocState, in int32) int8 {
-	switch st.mvVerdict[in] {
-	case vYes, vNo:
-		return st.mvVerdict[in]
-	case vInProgress:
-		// Dependency cycle: a ring of full buffers each waiting for the
-		// next to pop. No first pop can ever happen (every member is
-		// blocked, and retries fire only on a pop inside the ring), so
-		// nothing in the ring moves this cycle — the serial engine's
-		// deadlock-ring outcome.
-		return vNo
+	st.cur = &st.injLog
+	for _, v := range st.injNodes {
+		e.tryInject(topology.NodeID(v), st)
 	}
-	st.mvVerdict[in] = vInProgress
-	st.mvTouched = append(st.mvTouched, in)
-	v := e.moveVerdictEval(st, in)
-	st.mvVerdict[in] = v
-	return v
-}
-
-// moveVerdictEval is moveVerdict's uncached body: the fixed-point rules
-// that predict the serial move phase's outcome for one input. The
-// determinism argument lives in DESIGN.md, "Sharding the move phase";
-// in short, with one virtual channel every buffer has a unique feeder
-// and every link a unique holder, so whether an input moves depends
-// only on its own readiness and on whether its destination buffer has
-// — or makes — space, never on how the serial worklist interleaves
-// unrelated inputs.
-func (e *Engine) moveVerdictEval(st *allocState, in int32) int8 {
-	b := &e.inbufs[in]
-	if len(b.q) == 0 || b.allocOut < 0 {
-		return vNo
-	}
-	if e.cfg.holdsWholePacket() && int(b.port) != e.vport-1 {
-		// Store-and-forward readiness. Sharded move requires
-		// StrictAdvance here (see moveShardable), so the phase is a
-		// single descending-index pass with no retries: a tail that
-		// arrives this cycle is visible to in exactly when the feeder's
-		// index is higher than in's — the feeder then moved first.
-		if !(e.readyBits != nil && e.readyBits[in]) && !e.tailAtFront(b) {
-			up := e.upOut[in]
-			if up < 0 {
-				return vNo
-			}
-			f := e.busyBy[up]
-			if f <= in {
-				return vNo
-			}
-			fb := &e.inbufs[f]
-			if len(fb.q) == 0 || !fb.q[0].tail || fb.q[0].p != b.q[0].p {
-				return vNo
-			}
-			if e.moveVerdict(st, f) != vYes {
-				return vNo
-			}
+	st.cur = &st.chunkLog
+	for i := len(st.seedIdx) - 1; i >= 0; i-- {
+		k := st.seedIdx[i]
+		st.chunkLog = append(st.chunkLog, moveOp{kind: moChunk, a: k})
+		seed := e.seedOrder[k]
+		e.inWork[seed] = false
+		e.moveOne(seed, st)
+		for len(st.work) > 0 {
+			in := st.work[len(st.work)-1]
+			st.work = st.work[:len(st.work)-1]
+			e.inWork[in] = false
+			e.moveOne(in, st)
 		}
 	}
-	dest := e.outDest[b.allocOut]
-	if dest < 0 {
-		// Ejection: the processor consumes immediately, and the
-		// ejection channel's only possible holder is this input.
-		return vYes
-	}
-	if e.cfg.StrictAdvance {
-		// Only space present at the start of the cycle counts, and the
-		// destination's unique feeder is this input, so the snapshot is
-		// the whole answer.
-		if int(e.lenStart[dest]) < e.depth {
-			return vYes
-		}
-		return vNo
-	}
-	if len(e.inbufs[dest].q) < e.depth {
-		return vYes
-	}
-	// Chained advance into a full buffer: the move happens iff the
-	// destination's own front flit leaves this cycle (the cascade retry
-	// then lands this input's flit in the freed slot).
-	return e.moveVerdict(st, dest)
 }
 
-// verdictFor returns input in's move verdict from its owning shard's
-// memo. vUnknown means the propose never evaluated it (the input was
-// not flowing then — e.g. a bubble-collapse mover whose flit arrived
-// mid-drain); the caller falls back to the serial live checks.
-func (e *Engine) verdictFor(in int32) int8 {
-	return e.shards[e.shardOf[int(in)/e.vport]].mvVerdict[in]
+// commitMoves replays the per-shard move logs in the serial engine's
+// order: first every sweep injection in ascending node order (a k-way
+// merge over the shards' injection logs, which are each ascending),
+// then every seed's chunk in descending seed order — the serial LIFO's
+// pop order — pulling each chunk from its owning shard's log. Within a
+// chunk the ops replay in drain order, which is the serial schedule of
+// that seed's cascade subtree.
+func (e *Engine) commitMoves() {
+	for s := range e.mergeCur {
+		e.mergeCur[s] = 0
+	}
+	for {
+		best := -1
+		var bestIn int32
+		for s := 0; s < e.nshards; s++ {
+			if int(e.mergeCur[s]) < len(e.shards[s].injLog) {
+				in := e.shards[s].injLog[e.mergeCur[s]].a
+				if best < 0 || in < bestIn {
+					best, bestIn = s, in
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		op := &e.shards[best].injLog[e.mergeCur[best]]
+		e.mergeCur[best]++
+		e.applyInject(op.a, op.p, op.flag)
+	}
+	for s := range e.mergeCur {
+		e.mergeCur[s] = 0
+	}
+	for k := len(e.seedOrder) - 1; k >= 0; k-- {
+		s := e.seedShard[k]
+		log := e.shards[s].chunkLog
+		c := int(e.mergeCur[s])
+		if log[c].kind != moChunk || log[c].a != int32(k) {
+			panic("sim: move chunk log out of order")
+		}
+		c++
+		for c < len(log) && log[c].kind != moChunk {
+			op := &log[c]
+			switch op.kind {
+			case moInject:
+				e.applyInject(op.a, op.p, op.flag)
+			case moForward:
+				e.applyForward(op.a, op.b, op.flag)
+			case moEject:
+				e.applyEject(op.a, op.b, op.flag, op.p)
+			}
+			c++
+		}
+		e.mergeCur[s] = int32(c)
+	}
 }
 
 // startPool launches the worker goroutines for shards 1..nshards-1
@@ -545,7 +746,7 @@ func (e *Engine) shardWorker(s int, g *shardGate) {
 		case phaseAlloc:
 			e.runShard(s, g.epoch.Load())
 		case phaseMove:
-			e.runMoveShard(s)
+			e.runMoveShardDrain(s)
 		default:
 			return
 		}

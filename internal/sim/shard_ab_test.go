@@ -92,8 +92,8 @@ func TestShardABDeterminism(t *testing.T) {
 		})
 	})
 	// Deep wormhole buffers under heavy load keep chains of full buffers
-	// alive, exercising the move-verdict fixed point's full-buffer
-	// recursion (and, transiently, its cycle cut).
+	// alive, exercising long feeder chains in the conflict components
+	// (and, transiently, full-buffer rings).
 	t.Run("wormhole-deep-buffers", func(t *testing.T) {
 		runShardAB(t, func() Config {
 			topo := topology.NewMesh(8, 8)
@@ -127,9 +127,9 @@ func TestShardABDeterminism(t *testing.T) {
 			}
 		})
 	})
-	// Chained store-and-forward keeps the serial move phase (readiness
-	// can flip mid-drain, so no verdict propose runs) while allocation
-	// still shards — the A/B guarantee must hold across that split too.
+	// Chained store-and-forward: readiness flips mid-drain when a
+	// cascade lands a same-cycle tail, so the drain order inside each
+	// conflict component must replay the serial schedule exactly.
 	t.Run("store-and-forward-chained", func(t *testing.T) {
 		runShardAB(t, func() Config {
 			topo := topology.NewMesh(6, 6)
@@ -390,9 +390,10 @@ func TestShardAutoResolve(t *testing.T) {
 	}
 }
 
-// TestShardMoveEligibility: the move-verdict propose runs exactly for
-// the schedules it can predict — one virtual channel, and
-// store-and-forward only under strict advance.
+// TestShardMoveEligibility: the conflict-partitioned move drain engages
+// for every switching class once the engine is sharded — wormhole,
+// chained and strict store-and-forward, and multi-VC alike — and never
+// for serial engines.
 func TestShardMoveEligibility(t *testing.T) {
 	topo := topology.NewMesh(8, 8)
 	mk := func(mut func(*Config)) *Engine {
@@ -417,8 +418,8 @@ func TestShardMoveEligibility(t *testing.T) {
 	if e := mk(nil); !e.moveSharded {
 		t.Error("wormhole single-VC engine did not enable the sharded move phase")
 	}
-	if e := mk(func(c *Config) { c.Switching = StoreAndForward }); e.moveSharded {
-		t.Error("chained store-and-forward engine enabled the sharded move phase")
+	if e := mk(func(c *Config) { c.Switching = StoreAndForward }); !e.moveSharded {
+		t.Error("chained store-and-forward engine did not enable the sharded move phase")
 	}
 	if e := mk(func(c *Config) { c.Switching = StoreAndForward; c.StrictAdvance = true }); !e.moveSharded {
 		t.Error("strict store-and-forward engine did not enable the sharded move phase")
@@ -427,8 +428,8 @@ func TestShardMoveEligibility(t *testing.T) {
 		c.Algorithm = nil
 		c.VCAlgorithm = routing.NewDatelineDOR(topology.NewTorus(8, 2))
 		c.Pattern = traffic.NewUniform(topology.NewTorus(8, 2))
-	}); e.moveSharded {
-		t.Error("multi-VC engine enabled the sharded move phase")
+	}); !e.moveSharded {
+		t.Error("multi-VC engine did not enable the sharded move phase")
 	}
 	if e := mk(func(c *Config) { c.Shards = 0 }); e.moveSharded {
 		t.Error("serial engine enabled the sharded move phase")
@@ -530,6 +531,107 @@ func TestShardABDeterminismUnderFault(t *testing.T) {
 					shardCounts[i], j, events[0][j], events[i][j])
 			}
 		}
+	}
+}
+
+// TestShardABDeterminismParallelMoveUnderFault: the two switching
+// classes whose move phase was serial before the conflict-partitioned
+// drain — multi-VC (dateline torus) and chained store-and-forward —
+// stepped cycle for cycle through a mid-run DisableChannel fault and
+// its repair, with the recovery watchdog armed. Delivery streams and
+// totals must be identical to the serial engine at every shard count,
+// before, during and after the fault window.
+func TestShardABDeterminismParallelMoveUnderFault(t *testing.T) {
+	const (
+		cycles       = 2000
+		faultCycle   = 300
+		restoreCycle = 1100
+	)
+	cases := []struct {
+		name string
+		mk   func() (Config, *topology.Topology, topology.Channel)
+	}{
+		{"dateline-torus-vc", func() (Config, *topology.Topology, topology.Channel) {
+			topo := topology.NewTorus(6, 2)
+			broken := topology.Channel{From: topo.ID(topology.Coord{3, 3}), Dir: topology.Direction{Dim: 0, Pos: true}}
+			return Config{
+				VCAlgorithm:       routing.NewDatelineDOR(topo),
+				Pattern:           traffic.NewUniform(topo),
+				OfferedLoad:       2.5,
+				WarmupCycles:      1 << 30,
+				MeasureCycles:     1,
+				Seed:              31,
+				RecoveryThreshold: 128,
+				RetryLimit:        8,
+				CheckInvariants:   true,
+			}, topo, broken
+		}},
+		{"store-and-forward-chained", func() (Config, *topology.Topology, topology.Channel) {
+			topo := topology.NewMesh(6, 6)
+			broken := topology.Channel{From: topo.ID(topology.Coord{3, 3}), Dir: topology.Direction{Dim: 1, Pos: true}}
+			return Config{
+				Algorithm:         routing.NewWestFirst(topo),
+				Pattern:           traffic.NewUniform(topo),
+				OfferedLoad:       2.0,
+				Lengths:           []int{6, 12},
+				Switching:         StoreAndForward,
+				WarmupCycles:      1 << 30,
+				MeasureCycles:     1,
+				Seed:              37,
+				RecoveryThreshold: 128,
+				RetryLimit:        8,
+				CheckInvariants:   true,
+			}, topo, broken
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var events [][]deliveryEvent
+			var delivered []int64
+			for _, shards := range shardCounts {
+				cfg, topo, broken := tc.mk()
+				var evs []deliveryEvent
+				cfg.Shards = shards
+				cfg.Observer = recordDeliveries(&evs)
+				e, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for e.cycle < cycles {
+					switch e.cycle {
+					case faultCycle:
+						topo.DisableChannel(broken)
+					case restoreCycle:
+						topo.EnableChannel(broken)
+					}
+					e.step()
+					e.cycle++
+				}
+				e.Close()
+				if e.invariantErr != "" {
+					t.Fatalf("shards=%d invariant violation: %s", shards, e.invariantErr)
+				}
+				events = append(events, evs)
+				delivered = append(delivered, e.stats.totalDeliveredEver)
+			}
+			if delivered[0] == 0 {
+				t.Fatal("no deliveries; test would be vacuous")
+			}
+			for i := 1; i < len(shardCounts); i++ {
+				if delivered[i] != delivered[0] {
+					t.Fatalf("shards=%d delivered %d packets, serial %d", shardCounts[i], delivered[i], delivered[0])
+				}
+				if len(events[i]) != len(events[0]) {
+					t.Fatalf("shards=%d delivery stream length %d, serial %d", shardCounts[i], len(events[i]), len(events[0]))
+				}
+				for j := range events[i] {
+					if events[i][j] != events[0][j] {
+						t.Fatalf("shards=%d delivery %d differs: serial %+v, sharded %+v",
+							shardCounts[i], j, events[0][j], events[i][j])
+					}
+				}
+			}
+		})
 	}
 }
 
