@@ -44,12 +44,18 @@ import (
 	"testing"
 	"text/tabwriter"
 
+	"turnmodel/internal/core"
+	"turnmodel/internal/deadlock"
 	"turnmodel/internal/exp"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/sim"
 	"turnmodel/internal/topology"
 	"turnmodel/internal/traffic"
 )
+
+// freeSets2D is the deadlock-free count over the 256-set 2D design
+// space, the screening benchmarks' self-check (see internal/explore).
+const freeSets2D = 221
 
 // figureBenches mirrors the Benchmark* figure entries in bench_test.go:
 // one moderate load point per figure, every algorithm line.
@@ -290,6 +296,74 @@ func run() int {
 				return 1
 			}
 		}
+	}
+	// Screening micro-benchmarks: one op = screening the full 256-set 2D
+	// design space on a 16x16 mesh, once by rebuilding the turn CDG per
+	// set (the pre-explorer approach) and once with the incremental
+	// checker walking the sets in Gray-code order (what cmd/turnscan
+	// runs). Both verify the deadlock-free count so a wrong answer can
+	// never masquerade as a fast one.
+	measureRaw := func(name string, fn func(b *testing.B)) int64 {
+		if *only != "" && !strings.Contains(name, *only) {
+			return 0
+		}
+		ran++
+		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", name)
+		res := testing.Benchmark(fn)
+		rep.Benchmarks = append(rep.Benchmarks, record{
+			Name:        name,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Iterations:  res.N,
+			GoMaxProcs:  rep.GoMaxProcs,
+		})
+		return res.NsPerOp()
+	}
+	screenTopo := topology.NewMesh(16, 16)
+	rebuildNs := measureRaw("Screen2DRebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acyclic := 0
+			for key := 0; key < core.NumSets2D; key++ {
+				if deadlock.CheckTurnSet(screenTopo, core.SetFromKey2D(uint16(key))).DeadlockFree {
+					acyclic++
+				}
+			}
+			if acyclic != freeSets2D {
+				b.Fatalf("rebuild screening found %d deadlock-free sets, want %d", acyclic, freeSets2D)
+			}
+		}
+	})
+	incNs := measureRaw("Screen2DIncremental", func(b *testing.B) {
+		b.ReportAllocs()
+		turns := core.AllTurns(2)
+		for i := 0; i < b.N; i++ {
+			ic := deadlock.NewIncrementalTurn(screenTopo, core.SetFromKey2D(0))
+			acyclic := 0
+			prev := uint16(0)
+			for j := 0; j < core.NumSets2D; j++ {
+				key := core.GrayKey2D(j)
+				if j > 0 {
+					bit := 0
+					for (key^prev)>>uint(bit) != 1 {
+						bit++
+					}
+					ic.SetAllowed(turns[bit], key&(1<<uint(bit)) == 0)
+				}
+				if ic.Acyclic() {
+					acyclic++
+				}
+				prev = key
+			}
+			if acyclic != freeSets2D {
+				b.Fatalf("incremental screening found %d deadlock-free sets, want %d", acyclic, freeSets2D)
+			}
+		}
+	})
+	if rebuildNs > 0 && incNs > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: screening speedup: incremental is %.1fx faster than rebuild-per-set\n",
+			float64(rebuildNs)/float64(incNs))
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches -only %q\n", *only)

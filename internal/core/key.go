@@ -1,0 +1,79 @@
+package core
+
+// This file gives 2D turn sets a canonical machine identity: a uint16
+// bitmask over the eight 90-degree turns. The exhaustive design-space
+// exploration (internal/explore) enumerates, deduplicates and
+// content-addresses sets by key instead of by formatted prohibition
+// lists, and the Gray-code screening walk flips one key bit per step.
+
+import "fmt"
+
+// NumSets2D is the size of the 2D design space: every subset of the
+// eight 90-degree turns may be prohibited, 2^8 = 256 sets in all.
+const NumSets2D = 256
+
+// Key returns the canonical identity of a 2D turn set as a bitmask over
+// AllTurns(2): bit i is set exactly when the i-th turn is prohibited.
+// Key 0 is the fully adaptive set; 0xff prohibits every 90-degree turn.
+// Two 2D sets are the same relation if and only if their keys are equal,
+// which makes the key the right map key and content address wherever
+// sets are compared (the formatted Prohibited() list that used to play
+// this role is neither compact nor order-canonical by construction).
+//
+// Key panics on sets of more than two dimensions (whose 4n(n-1) turns
+// do not fit 16 bits) and on sets with incorporated 180-degree turns
+// (which the bitmask does not cover and would therefore alias).
+func (s *Set) Key() uint16 {
+	if s.n != 2 {
+		panic(fmt.Sprintf("core: Key is defined for 2D sets only, got %d dims", s.n))
+	}
+	if len(s.allowed180) != 0 {
+		panic("core: Key does not cover sets with 180-degree turns incorporated")
+	}
+	var key uint16
+	for i, t := range AllTurns(2) {
+		if !s.allowed[t] {
+			key |= 1 << i
+		}
+	}
+	return key
+}
+
+// SetFromKey2D reconstructs the 2D turn set identified by key: bit i of
+// key prohibits the i-th turn of AllTurns(2). It is the inverse of Key,
+// and names the set after the key ("set-0x44").
+func SetFromKey2D(key uint16) *Set {
+	if key >= NumSets2D {
+		panic(fmt.Sprintf("core: 2D set key %#x out of range [0, %#x)", key, NumSets2D))
+	}
+	s := NewSet(2).WithName(fmt.Sprintf("set-0x%02x", key))
+	for i, t := range AllTurns(2) {
+		if key&(1<<i) != 0 {
+			s.Prohibit(t)
+		}
+	}
+	return s
+}
+
+// AllSets2D enumerates the full 2D design space: one set per key in
+// ascending key order, NumSets2D sets in all. The slice is freshly
+// allocated; callers may mutate the sets.
+func AllSets2D() []*Set {
+	sets := make([]*Set, NumSets2D)
+	for key := range sets {
+		sets[key] = SetFromKey2D(uint16(key))
+	}
+	return sets
+}
+
+// GrayKey2D returns the i-th key of the binary-reflected Gray-code walk
+// over the 2D design space: consecutive keys differ in exactly one bit,
+// i.e. consecutive sets differ by exactly one turn prohibition. The
+// incremental screening walk (internal/explore) visits sets in this
+// order so each step is a single add- or remove-prohibition delta.
+func GrayKey2D(i int) uint16 {
+	if i < 0 || i >= NumSets2D {
+		panic(fmt.Sprintf("core: Gray index %d out of range [0, %d)", i, NumSets2D))
+	}
+	return uint16(i ^ (i >> 1))
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"turnmodel/internal/topology"
+)
+
+// TestKeyRoundTrip: Key and SetFromKey2D are inverse over the whole
+// design space, and AllSets2D enumerates exactly the 256 keys in order.
+func TestKeyRoundTrip(t *testing.T) {
+	sets := AllSets2D()
+	if len(sets) != NumSets2D {
+		t.Fatalf("AllSets2D returned %d sets, want %d", len(sets), NumSets2D)
+	}
+	for key, s := range sets {
+		if got := s.Key(); got != uint16(key) {
+			t.Errorf("set %d round-trips to key %#x", key, got)
+		}
+		if want := NumTurns(2) - popcount8(uint16(key)); s.NumAllowed() != want {
+			t.Errorf("key %#x allows %d turns, want %d", key, s.NumAllowed(), want)
+		}
+	}
+}
+
+func popcount8(k uint16) int {
+	n := 0
+	for ; k != 0; k &= k - 1 {
+		n++
+	}
+	return n
+}
+
+// TestKeyOfNamedSets: the canonical algorithms land on the expected
+// bitmasks given AllTurns(2)'s order (w->s, w->n, e->s, e->n, s->w,
+// s->e, n->w, n->e).
+func TestKeyOfNamedSets(t *testing.T) {
+	cases := []struct {
+		set  *Set
+		want uint16
+	}{
+		{FullyAdaptiveSet(2), 0x00},
+		{WestFirstSet(), 0x50},       // s->w, n->w
+		{NorthLastSet(), 0xc0},       // n->w, n->e
+		{NegativeFirstSet(2), 0x44},  // e->s, n->w
+		{DimensionOrderSet(2), 0xf0}, // all four turns out of dimension 1
+		{Figure4Set(), 0x11},         // w->s, s->w (the deadlocking reverse pair)
+	}
+	for _, c := range cases {
+		if got := c.set.Key(); got != c.want {
+			t.Errorf("%s: key %#02x, want %#02x", c.set.Name(), got, c.want)
+		}
+	}
+}
+
+// TestKeyPanics: keys are 2D-only and reject 180-degree incorporation.
+func TestKeyPanics(t *testing.T) {
+	expectPanic(t, "3D set", func() { NewSet(3).Key() })
+	s := NewSet(2)
+	s.Allow180(Turn{From: topology.Direction{Dim: 0, Pos: true}, To: topology.Direction{Dim: 0}})
+	expectPanic(t, "180-degree set", func() { s.Key() })
+	expectPanic(t, "key out of range", func() { SetFromKey2D(NumSets2D) })
+	expectPanic(t, "gray index out of range", func() { GrayKey2D(NumSets2D) })
+}
+
+func expectPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected a panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestGrayWalk: the Gray walk visits every key exactly once and flips
+// exactly one turn per step.
+func TestGrayWalk(t *testing.T) {
+	seen := make(map[uint16]bool, NumSets2D)
+	prev := GrayKey2D(0)
+	if prev != 0 {
+		t.Fatalf("walk starts at %#x, want 0", prev)
+	}
+	seen[prev] = true
+	for i := 1; i < NumSets2D; i++ {
+		key := GrayKey2D(i)
+		if seen[key] {
+			t.Fatalf("key %#x visited twice", key)
+		}
+		seen[key] = true
+		if diff := key ^ prev; popcount8(diff) != 1 {
+			t.Fatalf("step %d flips %d bits (%#x -> %#x)", i, popcount8(diff), prev, key)
+		}
+		prev = key
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+// The symmetry group of the 2D mesh. A square mesh is invariant under
+// the eight isometries of the square (four rotations, four reflections),
+// and each isometry acts on turn sets by relabeling directions. Two turn
+// sets related by an isometry induce isomorphic channel dependency
+// graphs and isomorphic routing relations, so they share every
+// structural property — deadlock freedom, connectivity, adaptiveness —
+// and, on symmetric workloads, the same performance figures. The paper
+// counts its "12 of 16" one-turn-per-cycle prohibitions as "three unique
+// if symmetry is taken into account" with exactly this group; the
+// exhaustive exploration screens and simulates one representative per
+// orbit and maps every raw set to it.
+
+import (
+	"fmt"
+
+	"turnmodel/internal/topology"
+)
+
+// Symmetry is one isometry of the square acting on 2D mesh directions
+// (and through them on turns and turn sets). Obtain the eight group
+// elements from Symmetries2D.
+type Symmetry struct {
+	name string
+	// img[i] is the image of topology.DirectionFromIndex(i).
+	img [4]topology.Direction
+	// turnPerm[i] is the AllTurns(2) index of the image of the i-th turn.
+	turnPerm [8]int
+}
+
+// Name identifies the group element ("identity", "rot90", "reflect-x",
+// ...).
+func (sy Symmetry) Name() string { return sy.name }
+
+// Direction returns the image of d under the isometry.
+func (sy Symmetry) Direction(d topology.Direction) topology.Direction {
+	return sy.img[d.Index()]
+}
+
+// Turn returns the image of t under the isometry: both legs of the turn
+// are relabeled.
+func (sy Symmetry) Turn(t Turn) Turn {
+	return Turn{From: sy.Direction(t.From), To: sy.Direction(t.To)}
+}
+
+// PermuteKey returns the key of the image set: bit i of key moves to
+// the bit of the i-th turn's image. Prohibitions map to prohibitions,
+// so the image of a set's key is the key of the image set.
+func (sy Symmetry) PermuteKey(key uint16) uint16 {
+	var out uint16
+	for i := 0; i < 8; i++ {
+		if key&(1<<i) != 0 {
+			out |= 1 << sy.turnPerm[i]
+		}
+	}
+	return out
+}
+
+// Set returns the image of s under the isometry as a fresh set, named
+// "<name>(<original name>)". Incorporated 180-degree turns are
+// relabeled along with the 90-degree prohibitions.
+func (sy Symmetry) Set(s *Set) *Set {
+	if s.n != 2 {
+		panic(fmt.Sprintf("core: 2D symmetries act on 2D sets only, got %d dims", s.n))
+	}
+	out := NewSet(2).WithName(fmt.Sprintf("%s(%s)", sy.name, s.name))
+	for _, t := range s.Prohibited() {
+		out.Prohibit(sy.Turn(t))
+	}
+	for t, ok := range s.allowed180 {
+		if ok {
+			out.Allow180(sy.Turn(t))
+		}
+	}
+	return out
+}
+
+// symmetries2D is built once: the group is small and fixed.
+var symmetries2D = buildSymmetries2D()
+
+// Symmetries2D returns the eight isometries of the square: the identity,
+// the three nontrivial rotations, and four reflections. The identity is
+// first. Callers must not modify the returned slice.
+func Symmetries2D() []Symmetry { return symmetries2D }
+
+func buildSymmetries2D() []Symmetry {
+	e := topology.Direction{Dim: 0, Pos: true}
+	w := topology.Direction{Dim: 0}
+	n := topology.Direction{Dim: 1, Pos: true}
+	s := topology.Direction{Dim: 1}
+	// img arrays are indexed by Direction.Index(): [west east south north].
+	id := [4]topology.Direction{w, e, s, n}
+	// 90-degree counterclockwise rotation: e->n, n->w, w->s, s->e.
+	rot := [4]topology.Direction{s, n, e, w}
+	// Reflection across the x axis: n<->s.
+	refl := [4]topology.Direction{w, e, n, s}
+	compose := func(a, b [4]topology.Direction) [4]topology.Direction {
+		var c [4]topology.Direction
+		for i := range c {
+			c[i] = a[b[i].Index()]
+		}
+		return c
+	}
+	imgs := [][4]topology.Direction{id}
+	names := []string{"identity", "rot90", "rot180", "rot270"}
+	cur := id
+	for i := 0; i < 3; i++ {
+		cur = compose(rot, cur)
+		imgs = append(imgs, cur)
+	}
+	for i := 0; i < 4; i++ {
+		imgs = append(imgs, compose(refl, imgs[i]))
+		if i == 0 {
+			names = append(names, "reflect")
+		} else {
+			names = append(names, "reflect-"+names[i])
+		}
+	}
+	turns := AllTurns(2)
+	index := make(map[Turn]int, len(turns))
+	for i, t := range turns {
+		index[t] = i
+	}
+	out := make([]Symmetry, len(imgs))
+	for k, img := range imgs {
+		sy := Symmetry{name: names[k], img: img}
+		for i, t := range turns {
+			sy.turnPerm[i] = index[Turn{From: img[t.From.Index()], To: img[t.To.Index()]}]
+		}
+		out[k] = sy
+	}
+	return out
+}
+
+// CanonicalKey2D returns the representative of key's orbit under the
+// mesh symmetry group: the smallest key among the eight images. Two 2D
+// sets are isomorphic (equal up to relabeling the mesh axes) exactly
+// when their canonical keys are equal, so screening or simulating one
+// set per canonical key covers the whole design space.
+func CanonicalKey2D(key uint16) uint16 {
+	best := key
+	for _, sy := range symmetries2D {
+		if img := sy.PermuteKey(key); img < best {
+			best = img
+		}
+	}
+	return best
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"turnmodel/internal/topology"
+)
+
+// TestSymmetryGroup: the eight isometries are distinct permutations of
+// the directions, closed under the turn action (every image turn is a
+// 90-degree turn), and include the identity first.
+func TestSymmetryGroup(t *testing.T) {
+	syms := Symmetries2D()
+	if len(syms) != 8 {
+		t.Fatalf("%d symmetries, want 8", len(syms))
+	}
+	if syms[0].Name() != "identity" {
+		t.Errorf("first element is %q, want identity", syms[0].Name())
+	}
+	seen := map[[4]int]bool{}
+	for _, sy := range syms {
+		var perm [4]int
+		for i := 0; i < 4; i++ {
+			d := sy.Direction(topology.DirectionFromIndex(i))
+			perm[i] = d.Index()
+		}
+		if seen[perm] {
+			t.Errorf("%s duplicates another element", sy.Name())
+		}
+		seen[perm] = true
+		for _, turn := range AllTurns(2) {
+			if TurnDegree(sy.Turn(turn)) != Deg90 {
+				t.Errorf("%s maps %v to the non-90-degree %v", sy.Name(), turn, sy.Turn(turn))
+			}
+		}
+	}
+	if syms[0].Turn(Turn{From: topology.Direction{Dim: 0, Pos: true}, To: topology.Direction{Dim: 1}}) !=
+		(Turn{From: topology.Direction{Dim: 0, Pos: true}, To: topology.Direction{Dim: 1}}) {
+		t.Error("identity moved a turn")
+	}
+}
+
+// TestPermuteKeyMatchesSetAction: permuting a key agrees with
+// transforming the set and re-keying it, for every key and symmetry.
+func TestPermuteKeyMatchesSetAction(t *testing.T) {
+	for key := uint16(0); key < NumSets2D; key++ {
+		s := SetFromKey2D(key)
+		for _, sy := range Symmetries2D() {
+			if got, want := sy.PermuteKey(key), sy.Set(s).Key(); got != want {
+				t.Fatalf("%s on %#02x: PermuteKey %#02x, Set().Key() %#02x", sy.Name(), key, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonicalKeyIsOrbitInvariant: every member of an orbit shares the
+// canonical key, the canonical key is a member of the orbit, and
+// canonicalization is idempotent.
+func TestCanonicalKeyIsOrbitInvariant(t *testing.T) {
+	classes := map[uint16]bool{}
+	for key := uint16(0); key < NumSets2D; key++ {
+		canon := CanonicalKey2D(key)
+		if canon > key {
+			t.Errorf("canonical key %#02x exceeds member %#02x", canon, key)
+		}
+		if CanonicalKey2D(canon) != canon {
+			t.Errorf("canonicalization not idempotent at %#02x", key)
+		}
+		inOrbit := false
+		for _, sy := range Symmetries2D() {
+			if sy.PermuteKey(key) == canon {
+				inOrbit = true
+			}
+			if CanonicalKey2D(sy.PermuteKey(key)) != canon {
+				t.Errorf("orbit of %#02x has inconsistent canonical keys", key)
+			}
+		}
+		if !inOrbit {
+			t.Errorf("canonical key of %#02x is outside its orbit", key)
+		}
+		classes[canon] = true
+	}
+	// Burnside count for the D4 action on 8 turns: the orbit count of
+	// the full 256-set space is a fixed structural constant.
+	if len(classes) != 43 {
+		t.Errorf("%d orbits over the 256 sets, want 43 (Burnside count)", len(classes))
+	}
+}
+
+// TestNamedFamiliesAreDistinctOrbits: the paper's three unique
+// one-turn-per-cycle classes — west-first, north-last, negative-first —
+// have pairwise distinct canonical keys, and each orbit has the
+// expected size (4 for west-first and north-last, 4 for negative-first).
+func TestNamedFamiliesAreDistinctOrbits(t *testing.T) {
+	wf := CanonicalKey2D(WestFirstSet().Key())
+	nl := CanonicalKey2D(NorthLastSet().Key())
+	nf := CanonicalKey2D(NegativeFirstSet(2).Key())
+	if wf == nl || wf == nf || nl == nf {
+		t.Errorf("named families collide: wf=%#02x nl=%#02x nf=%#02x", wf, nl, nf)
+	}
+	for _, c := range []struct {
+		name string
+		key  uint16
+	}{{"west-first", WestFirstSet().Key()}, {"north-last", NorthLastSet().Key()}, {"negative-first", NegativeFirstSet(2).Key()}} {
+		orbit := map[uint16]bool{}
+		for _, sy := range Symmetries2D() {
+			orbit[sy.PermuteKey(c.key)] = true
+		}
+		if len(orbit) != 4 {
+			t.Errorf("%s orbit has %d members, want 4", c.name, len(orbit))
+		}
+	}
+}

@@ -213,14 +213,41 @@ func Check(alg routing.Algorithm) Result {
 }
 
 // CheckTurnSet builds the destination-free turn CDG of set on t and
-// reports whether it is acyclic.
+// reports whether it is acyclic. The witness cycle, if any, is returned
+// in a deterministic rotation — the channel with the lowest dense ID
+// first — so logs and golden outputs keyed on the witness are stable
+// regardless of the traversal order that discovered it.
 func CheckTurnSet(t *topology.Topology, set *core.Set) Result {
 	g := BuildTurnCDG(t, set)
-	cyc := g.FindCycle()
+	cyc := rotateMinFirst(t, g.FindCycle())
 	return Result{
 		DeadlockFree: cyc == nil,
 		Cycle:        cyc,
 		Channels:     t.NumChannels(),
 		Edges:        g.NumEdges(),
 	}
+}
+
+// rotateMinFirst rotates a dependency cycle in place so the channel
+// with the smallest dense ID comes first. A cycle has no intrinsic
+// starting point; picking the minimum makes the reported witness a
+// canonical function of the cycle itself rather than of DFS entry
+// order.
+func rotateMinFirst(t *topology.Topology, cyc []topology.Channel) []topology.Channel {
+	if len(cyc) == 0 {
+		return cyc
+	}
+	min := 0
+	for i := 1; i < len(cyc); i++ {
+		if t.ChannelID(cyc[i]) < t.ChannelID(cyc[min]) {
+			min = i
+		}
+	}
+	if min == 0 {
+		return cyc
+	}
+	rotated := make([]topology.Channel, 0, len(cyc))
+	rotated = append(rotated, cyc[min:]...)
+	rotated = append(rotated, cyc[:min]...)
+	return rotated
 }

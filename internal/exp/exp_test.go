@@ -344,16 +344,11 @@ func TestFigureJSON(t *testing.T) {
 // symmetry.
 func TestSymmetryInvariance(t *testing.T) {
 	topo := topology.NewMesh(5, 5)
-	maps := squareSymmetries()
 	for _, set := range core.OneTurnPerCyclePairs2D() {
 		want := deadlock.CheckTurnSet(topo, set).DeadlockFree
-		for _, m := range maps {
-			mapped := core.NewSet(2).WithName("mapped")
-			for _, turn := range set.Prohibited() {
-				mapped.Prohibit(core.Turn{From: m[turn.From.Index()], To: m[turn.To.Index()]})
-			}
-			if got := deadlock.CheckTurnSet(topo, mapped).DeadlockFree; got != want {
-				t.Fatalf("symmetry changed the verdict for %v -> %v", set, mapped)
+		for _, sy := range core.Symmetries2D() {
+			if got := deadlock.CheckTurnSet(topo, sy.Set(set)).DeadlockFree; got != want {
+				t.Fatalf("%s changed the verdict for %v", sy.Name(), set)
 			}
 		}
 	}

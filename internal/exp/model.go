@@ -421,74 +421,14 @@ func dirBetween(t *topology.Topology, a, b topology.NodeID) topology.Direction {
 // SymmetryClasses2D counts equivalence classes of 2D turn sets under the
 // eight symmetries of the square (rotations and reflections), the sense
 // in which Section 3 calls three of the twelve deadlock-free
-// prohibitions unique.
+// prohibitions unique. Classes are keyed by core.CanonicalKey2D, the
+// same canonicalization the exhaustive explorer deduplicates with.
 func SymmetryClasses2D(sets []*core.Set) int {
-	type key string
-	canon := map[key]bool{}
+	canon := map[uint16]bool{}
 	for _, s := range sets {
-		best := ""
-		for _, m := range squareSymmetries() {
-			sig := transformedSignature(s, m)
-			if best == "" || sig < best {
-				best = sig
-			}
-		}
-		canon[key(best)] = true
+		canon[core.CanonicalKey2D(s.Key())] = true
 	}
 	return len(canon)
-}
-
-// dirMap maps the four 2D directions; index by Direction.Index().
-type dirMap [4]topology.Direction
-
-func squareSymmetries() []dirMap {
-	e := topology.Direction{Dim: 0, Pos: true}
-	w := topology.Direction{Dim: 0}
-	n := topology.Direction{Dim: 1, Pos: true}
-	s := topology.Direction{Dim: 1}
-	// Base maps: identity and the 90-degree ccw rotation e->n->w->s->e,
-	// composed to get all four rotations, then each followed by the
-	// x-axis reflection (n<->s).
-	id := dirMap{w, e, s, n}
-	rot := dirMap{s, n, e, w} // image of (w, e, s, n) under ccw rotation: w->s, e->n, s->e, n->w
-	compose := func(a, b dirMap) dirMap {
-		var c dirMap
-		for i := range c {
-			c[i] = a[b[i].Index()]
-		}
-		return c
-	}
-	reflect := dirMap{w, e, n, s} // swap north and south
-	maps := []dirMap{id}
-	cur := id
-	for i := 0; i < 3; i++ {
-		cur = compose(rot, cur)
-		maps = append(maps, cur)
-	}
-	for i := 0; i < 4; i++ {
-		maps = append(maps, compose(reflect, maps[i]))
-	}
-	return maps
-}
-
-func transformedSignature(s *core.Set, m dirMap) string {
-	var sig string
-	var img []string
-	for _, t := range s.Prohibited() {
-		img = append(img, core.Turn{From: m[t.From.Index()], To: m[t.To.Index()]}.String())
-	}
-	// Sort for canonical form.
-	for i := range img {
-		for j := i + 1; j < len(img); j++ {
-			if img[j] < img[i] {
-				img[i], img[j] = img[j], img[i]
-			}
-		}
-	}
-	for _, x := range img {
-		sig += x + ";"
-	}
-	return sig
 }
 
 // ClaimResult records one Section 6 ratio claim against its measurement.
