@@ -1,0 +1,381 @@
+// Command servestorm is the kill/restart chaos harness for turnserver:
+// it proves the crash-safety contract against a real process with real
+// SIGKILLs, not an in-process simulation.
+//
+// The campaign:
+//
+//  1. Reference phase: a clean server (its own journal) runs every
+//     round's job to completion; the result bytes are the oracle.
+//  2. Kill rounds: a second server (one shared journal across rounds)
+//     receives a job, is SIGKILLed mid-run after a seeded random
+//     delay, and is restarted. The restart must replay the journal,
+//     pass /healthz and /readyz, re-run the interrupted job, and serve
+//     — over both GET /result and the SSE stream — bytes identical to
+//     the reference. Jobs finished in earlier rounds must still be
+//     served (from the journal, not re-run) with identical bytes.
+//  3. Deadline round: a job that would run for ~2^30 cycles is
+//     submitted with timeout_seconds=1 and must reach the terminal
+//     "timeout" state promptly.
+//  4. Shutdown: SIGTERM must produce a clean exit.
+//
+// Panic quarantine (poisoned jobs) needs a fault injected inside the
+// process, so it is exercised by the in-package tests instead
+// (internal/serve TestPanicQuarantine, TestJournalPoisonedNeverReruns).
+//
+// Exit status 0 means every check passed. Any divergence — byte
+// mismatch, replay miss, probe failure, unclean exit — is fatal.
+//
+// Usage (CI runs this with a -race server binary):
+//
+//	go build -race -o /tmp/turnserver ./cmd/turnserver
+//	go run ./cmd/servestorm -server /tmp/turnserver -kills 2
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	server := flag.String("server", "", "turnserver binary to storm (empty: go build ./cmd/turnserver)")
+	addr := flag.String("addr", "127.0.0.1:18091", "address the stormed server listens on")
+	kills := flag.Int("kills", 2, "SIGKILL rounds (one interrupted job each)")
+	seed := flag.Int64("seed", 1, "seed for kill delays and job identities")
+	wait := flag.Duration("wait", 5*time.Minute, "per-job completion budget")
+	warmup := flag.Int64("warmup", 100000, "warmup cycles per kill-round job (size the job to the machine: it must outlive the kill delay)")
+	measure := flag.Int64("measure", 200000, "measurement cycles per kill-round job")
+	flag.Parse()
+	if err := run(*server, *addr, *kills, *seed, *wait, *warmup, *measure); err != nil {
+		fmt.Fprintf(os.Stderr, "servestorm: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servestorm: all checks passed")
+}
+
+// jobBody is the POST body of round i: deterministic (fixed seed), and
+// — at the default cycle counts — long enough that a SIGKILL lands
+// mid-run even on a fast machine.
+func jobBody(seed int64, round int, warmup, measure int64) string {
+	return fmt.Sprintf(`{"figure":"fig13","quick":true,"seed":%d,"loads":[0.5],"warmup_cycles":%d,"measure_cycles":%d}`,
+		seed*1000+int64(round), warmup, measure)
+}
+
+// timeoutBody would run ~2^30 cycles without its one-second deadline.
+func timeoutBody(seed int64) string {
+	return fmt.Sprintf(`{"figure":"fig13","seed":%d,"loads":[0.5],"warmup_cycles":1073741824,"measure_cycles":1,"timeout_seconds":1}`,
+		seed*1000+999)
+}
+
+func run(server, addr string, kills int, seed int64, wait time.Duration, warmup, measure int64) error {
+	dir, err := os.MkdirTemp("", "servestorm")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if server == "" {
+		server = filepath.Join(dir, "turnserver")
+		build := exec.Command("go", "build", "-o", server, "./cmd/turnserver")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building turnserver: %v", err)
+		}
+	}
+	base := "http://" + addr
+	rng := rand.New(rand.NewSource(seed))
+
+	// Phase 1: reference results from an uninterrupted server.
+	fmt.Println("servestorm: reference phase")
+	ref, err := startServer(server, addr, filepath.Join(dir, "reference.jsonl"))
+	if err != nil {
+		return err
+	}
+	want := make(map[int][]byte, kills)
+	for round := 0; round < kills; round++ {
+		id, err := submit(base, jobBody(seed, round, warmup, measure))
+		if err != nil {
+			ref.stop()
+			return fmt.Errorf("reference submit round %d: %v", round, err)
+		}
+		if _, err := waitJob(base, id, wait, "done"); err != nil {
+			ref.stop()
+			return fmt.Errorf("reference round %d: %v", round, err)
+		}
+		want[round], err = get(base + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			ref.stop()
+			return fmt.Errorf("reference result round %d: %v", round, err)
+		}
+	}
+	if err := ref.stop(); err != nil {
+		return fmt.Errorf("reference server shutdown: %v", err)
+	}
+
+	// Phase 2: kill rounds against one shared journal.
+	journal := filepath.Join(dir, "chaos.jsonl")
+	ids := make(map[int]string, kills)
+	srv, err := startServer(server, addr, journal)
+	if err != nil {
+		return err
+	}
+	reruns := 0
+	for round := 0; round < kills; round++ {
+		id, err := submit(base, jobBody(seed, round, warmup, measure))
+		if err != nil {
+			srv.stop()
+			return fmt.Errorf("round %d submit: %v", round, err)
+		}
+		ids[round] = id
+		// Kill as soon as the job is observed running, plus a small
+		// seeded jitter so successive rounds land the SIGKILL at
+		// different points of the sweep. If the machine is so fast the
+		// job finished first, the round still verifies the journal-
+		// restored result below.
+		st, err := waitJob(base, id, wait, "running", "done")
+		if err != nil {
+			srv.stop()
+			return fmt.Errorf("round %d: %v", round, err)
+		}
+		midRun := st.State == "running"
+		if midRun {
+			time.Sleep(time.Duration(rng.Intn(200)) * time.Millisecond)
+		}
+		fmt.Printf("servestorm: round %d: SIGKILL (mid-run: %v)\n", round, midRun)
+		srv.kill()
+
+		if srv, err = startServer(server, addr, journal); err != nil {
+			return fmt.Errorf("round %d restart: %v", round, err)
+		}
+		st, err = waitJob(base, id, wait, "done")
+		if err != nil {
+			srv.stop()
+			return fmt.Errorf("round %d replay: %v", round, err)
+		}
+		if !st.Replayed {
+			srv.stop()
+			return fmt.Errorf("round %d: job not restored from the journal: %+v", round, st)
+		}
+		if st.Attempt >= 2 {
+			reruns++
+		} else if midRun {
+			srv.stop()
+			return fmt.Errorf("round %d: interrupted job was not re-run: %+v", round, st)
+		}
+		// Every round so far must serve reference-identical bytes over
+		// both endpoints: the fresh re-run and the journal-restored
+		// results of earlier rounds alike.
+		for r := 0; r <= round; r++ {
+			got, err := get(base + "/v1/jobs/" + ids[r] + "/result")
+			if err != nil {
+				srv.stop()
+				return fmt.Errorf("round %d result of job %d: %v", round, r, err)
+			}
+			if !bytes.Equal(got, want[r]) {
+				srv.stop()
+				return fmt.Errorf("round %d: job %d result diverged from the uninterrupted reference", round, r)
+			}
+			stream, err := get(base + "/v1/jobs/" + ids[r] + "/stream")
+			if err != nil {
+				srv.stop()
+				return fmt.Errorf("round %d stream of job %d: %v", round, r, err)
+			}
+			if got := sseResult(string(stream)); got != string(want[r]) {
+				srv.stop()
+				return fmt.Errorf("round %d: job %d streamed result diverged from the reference", round, r)
+			}
+		}
+		fmt.Printf("servestorm: round %d: replay converged byte-identically\n", round)
+	}
+	if reruns == 0 {
+		srv.stop()
+		return fmt.Errorf("no round ever re-ran an interrupted job; raise the job size")
+	}
+
+	// Phase 3: the deadline round.
+	fmt.Println("servestorm: deadline round")
+	id, err := submit(base, timeoutBody(seed))
+	if err != nil {
+		srv.stop()
+		return fmt.Errorf("deadline submit: %v", err)
+	}
+	begin := time.Now()
+	st, err := waitJob(base, id, 30*time.Second, "timeout")
+	if err != nil {
+		srv.stop()
+		return fmt.Errorf("deadline round: %v", err)
+	}
+	if !strings.Contains(st.Error, "deadline exceeded") {
+		srv.stop()
+		return fmt.Errorf("deadline round: terminal error = %q", st.Error)
+	}
+	fmt.Printf("servestorm: deadline enforced in %v\n", time.Since(begin).Round(time.Millisecond))
+
+	// Phase 4: clean SIGTERM shutdown.
+	if err := srv.stop(); err != nil {
+		return fmt.Errorf("final shutdown: %v", err)
+	}
+	return nil
+}
+
+// proc is one running turnserver.
+type proc struct {
+	cmd  *exec.Cmd
+	done chan error
+}
+
+// startServer launches the binary and waits for /healthz and /readyz.
+func startServer(bin, addr, journal string) (*proc, error) {
+	cmd := exec.Command(bin, "-addr", addr, "-journal", journal, "-quiet")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &proc{cmd: cmd, done: make(chan error, 1)}
+	go func() { p.done <- cmd.Wait() }()
+	base := "http://" + addr
+	deadline := time.Now().Add(30 * time.Second)
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		for {
+			resp, err := http.Get(base + probe)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				p.kill()
+				return nil, fmt.Errorf("server never passed %s", probe)
+			}
+			select {
+			case err := <-p.done:
+				return nil, fmt.Errorf("server exited during startup: %v", err)
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}
+	return p, nil
+}
+
+// kill SIGKILLs the server — the crash under test — and reaps it.
+func (p *proc) kill() {
+	p.cmd.Process.Kill()
+	<-p.done
+}
+
+// stop SIGTERMs the server and requires a clean exit.
+func (p *proc) stop() error {
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-p.done:
+		return err
+	case <-time.After(30 * time.Second):
+		p.kill()
+		return fmt.Errorf("server ignored SIGTERM for 30s")
+	}
+}
+
+// jobStatus is the subset of the status body the harness checks.
+type jobStatus struct {
+	State    string `json:"state"`
+	Replayed bool   `json:"replayed"`
+	Attempt  int    `json:"attempt"`
+	Error    string `json:"error"`
+}
+
+// submit POSTs a job body and returns the job ID.
+func submit(base, body string) (string, error) {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("submit = %d: %s", resp.StatusCode, b)
+	}
+	var sr struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(b, &sr); err != nil || sr.ID == "" {
+		return "", fmt.Errorf("bad submit response %q: %v", b, err)
+	}
+	return sr.ID, nil
+}
+
+// waitJob polls a job until it reaches one of the wanted states,
+// failing fast on any other terminal state.
+func waitJob(base, id string, budget time.Duration, wants ...string) (jobStatus, error) {
+	deadline := time.Now().Add(budget)
+	var st jobStatus
+	for {
+		b, err := get(base + "/v1/jobs/" + id)
+		if err == nil {
+			if err := json.Unmarshal(b, &st); err != nil {
+				return st, fmt.Errorf("bad status body %q: %v", b, err)
+			}
+			for _, want := range wants {
+				if st.State == want {
+					return st, nil
+				}
+			}
+			switch st.State {
+			case "done", "failed", "canceled", "timeout", "poisoned":
+				return st, fmt.Errorf("job %s reached %s (%s) while waiting for %v", id, st.State, st.Error, wants)
+			}
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s stuck in %q waiting for %v", id, st.State, wants)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// get fetches a URL, requiring 200.
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s = %d: %s", url, resp.StatusCode, b)
+	}
+	return b, nil
+}
+
+// sseResult reassembles the data lines of the stream's result event
+// (SSE multi-line data joins with newlines).
+func sseResult(stream string) string {
+	_, after, found := strings.Cut(stream, "event: result\n")
+	if !found {
+		return ""
+	}
+	var lines []string
+	for _, line := range strings.Split(after, "\n") {
+		if line == "" {
+			break
+		}
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			return ""
+		}
+		lines = append(lines, data)
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -3,12 +3,19 @@
 // Server-Sent Events, and fetch results that are byte-identical to the
 // in-process `experiments` output. Identical submissions are
 // content-addressed onto one job and repeat configurations are served
-// from the in-memory sweep cache without re-running a single
+// from the in-process sweep cache without re-running a single
 // simulation.
+//
+// With -journal the server is crash-safe: every job transition is
+// appended to a JSONL write-ahead log, and a restart replays it —
+// completed results are served from the journal, jobs interrupted by
+// the crash are re-queued (capped exponential backoff across repeated
+// crashes), and jobs that panicked stay quarantined as "poisoned".
 //
 // Start it, then drive it with curl:
 //
-//	turnserver -addr :8080 &
+//	turnserver -addr :8080 -journal /var/lib/turnserver/journal.jsonl \
+//	  -job-timeout 10m &
 //
 //	# Submit a quick Figure 13 sweep (202, or 200 if already known).
 //	curl -s localhost:8080/v1/jobs -d '{"figure":"fig13","quick":true}'
@@ -20,13 +27,17 @@
 //	curl -s localhost:8080/v1/jobs/<id>
 //	curl -s localhost:8080/v1/jobs/<id>/result
 //
-//	# Cancel, list, scrape.
+//	# Cancel, list, scrape, probe.
 //	curl -s -X DELETE localhost:8080/v1/jobs/<id>
 //	curl -s localhost:8080/v1/jobs
 //	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/healthz   # liveness
+//	curl -s localhost:8080/readyz    # readiness + load shedding
 //
 // SIGINT/SIGTERM drains cleanly: admission stops, running jobs are
-// canceled at their next poll, and the HTTP listener shuts down.
+// canceled at their next poll, and the HTTP listener shuts down. A
+// SIGKILL (or crash) instead leaves the journal authoritative: the
+// next start re-runs what was interrupted and serves what finished.
 package main
 
 import (
@@ -54,10 +65,24 @@ func run() int {
 	queue := flag.Int("queue", 16, "admission queue depth (beyond it submissions get 429)")
 	jobs := flag.Int("jobs", 1, "jobs run concurrently (each fans out across the worker budget)")
 	workers := flag.Int("workers", 0, "total leaf-simulation worker budget shared by running jobs (0 = GOMAXPROCS)")
+	journal := flag.String("journal", "", "JSONL job journal path; enables crash-safe replay on restart (empty = in-memory only)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job execution deadline; exceeded jobs end in state \"timeout\" (0 = none)")
+	shed := flag.Int("shed", 0, "queued-job count at which /readyz flips 503 to shed load (0 = 3/4 of -queue)")
 	quiet := flag.Bool("quiet", false, "suppress the per-request access log")
 	flag.Parse()
 
-	store := serve.NewStore(serve.Config{QueueDepth: *queue, Jobs: *jobs, Workers: *workers})
+	store, err := serve.NewStore(serve.Config{
+		QueueDepth:    *queue,
+		Jobs:          *jobs,
+		Workers:       *workers,
+		JournalPath:   *journal,
+		JobTimeout:    *jobTimeout,
+		ShedThreshold: *shed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "turnserver: %v\n", err)
+		return 1
+	}
 	var logw io.Writer = os.Stderr
 	if *quiet {
 		logw = nil

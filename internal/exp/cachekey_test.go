@@ -4,6 +4,7 @@ import (
 	"io"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // nonZeroValue fills v with a non-zero value of its type, so the cache
@@ -37,6 +38,12 @@ func nonZeroValue(t *testing.T, v reflect.Value, name string) {
 		}))
 	case reflect.Chan:
 		v.Set(reflect.ValueOf(make(chan struct{})).Convert(v.Type()))
+	case reflect.Struct:
+		if v.Type() == reflect.TypeOf(time.Time{}) {
+			v.Set(reflect.ValueOf(time.Unix(1, 0)))
+			return
+		}
+		t.Fatalf("field %s: no non-zero recipe for struct %v — extend nonZeroValue", name, v.Type())
 	case reflect.Interface:
 		if v.Type() == reflect.TypeOf((*io.Writer)(nil)).Elem() {
 			v.Set(reflect.ValueOf(io.Discard))

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"sync"
 
+	"time"
+
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/sim"
@@ -81,6 +83,13 @@ type Options struct {
 	// cancellation poll (sim.Config.Stop), and the entry points return
 	// ErrCanceled. A canceled run is never cached.
 	Cancel <-chan struct{}
+	// Deadline, when non-zero, aborts the run once the wall clock
+	// passes it, through the same cooperative path as Cancel: leaves
+	// not yet started are skipped, in-flight simulations stop at their
+	// next cancellation poll, and the entry points return
+	// ErrDeadlineExceeded. Like Cancel, an expired run is never cached.
+	// The turnserver derives it from its per-job timeout.
+	Deadline time.Time
 	// DisableRouteTables forwards sim.Config.DisableRouteTable to the
 	// figure-sweep simulations: routing relations are evaluated
 	// directly per header instead of through compiled route tables.
@@ -101,6 +110,15 @@ type ProgressEvent struct {
 // ErrCanceled is returned by the sweep entry points when
 // Options.Cancel fired before the run completed.
 var ErrCanceled = errors.New("exp: run canceled")
+
+// ErrDeadlineExceeded is returned by the sweep entry points when
+// Options.Deadline passed before the run completed.
+var ErrDeadlineExceeded = errors.New("exp: run deadline exceeded")
+
+// expired reports whether Options.Deadline has passed.
+func (o Options) expired() bool {
+	return !o.Deadline.IsZero() && !time.Now().Before(o.Deadline)
+}
 
 // canceled reports whether Options.Cancel has fired.
 func (o Options) canceled() bool {
@@ -323,13 +341,17 @@ func runSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Opt
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if o.canceled() {
+			if o.canceled() || o.expired() {
 				// Leaves not yet started are skipped outright; the slot
 				// frees immediately for whoever shares the semaphore.
 				mu.Lock()
 				defer mu.Unlock()
 				if firstErr == nil {
-					firstErr = ErrCanceled
+					if o.expired() {
+						firstErr = ErrDeadlineExceeded
+					} else {
+						firstErr = ErrCanceled
+					}
 				}
 				return
 			}
@@ -343,8 +365,8 @@ func runSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Opt
 				DisableRouteTable: o.DisableRouteTables,
 				Shards:            o.Shards,
 			}
-			if o.Cancel != nil {
-				cfg.Stop = o.canceled
+			if o.Cancel != nil || !o.Deadline.IsZero() {
+				cfg.Stop = func() bool { return o.canceled() || o.expired() }
 			}
 			// One collector per simulation: collectors are not safe to
 			// share across concurrent runs, and attaching them never
@@ -356,9 +378,14 @@ func runSweep(alg routing.Algorithm, pat traffic.Pattern, loads []float64, o Opt
 			}
 			r, err := sim.Run(cfg)
 			if err == nil && r.Stopped {
-				// An in-flight simulation aborted by cancellation: its
-				// partial measurements must never land in the cache.
-				err = ErrCanceled
+				// An in-flight simulation aborted by cancellation or an
+				// expired deadline: its partial measurements must never
+				// land in the cache.
+				if o.expired() {
+					err = ErrDeadlineExceeded
+				} else {
+					err = ErrCanceled
+				}
 			} else {
 				prog.tick()
 			}
@@ -499,6 +526,7 @@ var cacheNeutralOptionFields = map[string]string{
 	"Progress":   "stderr progress lines never affect results",
 	"OnProgress": "structured progress callbacks never affect results",
 	"Cancel":     "canceled runs return ErrCanceled and are never cached",
+	"Deadline":   "expired runs return ErrDeadlineExceeded and are never cached",
 }
 
 // cacheKey canonically serializes the figure identity plus every

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bytes"
 	"io"
 	"sync"
 )
@@ -33,16 +34,21 @@ func (r *Registry) Register(e Exporter) {
 	r.mu.Unlock()
 }
 
-// WritePrometheus scrapes every registered exporter into w, stopping
-// at the first error.
+// WritePrometheus scrapes every registered exporter, stopping at the
+// first error. The whole exposition is buffered before any byte
+// reaches w: an exporter failing mid-write (even after emitting
+// partial output) leaves w untouched, so HTTP callers can return a
+// clean 500 instead of a torn scrape.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	exps := append([]Exporter(nil), r.exporters...)
 	r.mu.Unlock()
+	var buf bytes.Buffer
 	for _, e := range exps {
-		if err := e(w); err != nil {
+		if err := e(&buf); err != nil {
 			return err
 		}
 	}
-	return nil
+	_, err := w.Write(buf.Bytes())
+	return err
 }

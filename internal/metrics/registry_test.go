@@ -40,6 +40,27 @@ func TestRegistryFirstError(t *testing.T) {
 	}
 }
 
+// TestRegistryNoTornScrape: an exporter that emits partial output and
+// then fails must leave the destination writer untouched — including
+// the output of exporters that already succeeded — so the scrape is
+// all-or-nothing.
+func TestRegistryNoTornScrape(t *testing.T) {
+	r := NewRegistry()
+	boom := errors.New("boom")
+	r.Register(func(w io.Writer) error { fmt.Fprintln(w, "ok_total 1"); return nil })
+	r.Register(func(w io.Writer) error {
+		fmt.Fprintln(w, "torn_total 2") // partial output before the failure
+		return boom
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("failed scrape leaked %q to the writer; want nothing", b.String())
+	}
+}
+
 // TestRegistryConcurrent: concurrent Register and scrape calls must
 // not race (run under -race in CI).
 func TestRegistryConcurrent(t *testing.T) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,8 +14,9 @@ import (
 
 // Server is the HTTP face of a Store: the /v1/jobs API (submit,
 // status, result, SSE stream, cancel), /metrics via a shared
-// metrics.Registry, and /healthz. It applies recovery and access-log
-// middleware around every handler.
+// metrics.Registry, and the /healthz (liveness) and /readyz
+// (readiness + load shedding) probes. It applies recovery and
+// access-log middleware around every handler.
 type Server struct {
 	store *Store
 	reg   *metrics.Registry
@@ -38,7 +40,20 @@ func NewServer(store *Store, reg *metrics.Registry, logw io.Writer) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// /healthz is pure liveness: the process serves HTTP. /readyz adds
+	// readiness — journal replayed and the queue below the shed
+	// threshold — flipping 503 before admission control starts handing
+	// out hard 429s, so a load balancer drains a saturated instance
+	// early.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ok, reason := store.Ready()
+		if !ok {
+			errorJSON(w, http.StatusServiceUnavailable, reason)
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
 	return s
@@ -127,6 +142,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err == ErrClosed:
 		errorJSON(w, http.StatusServiceUnavailable, "server shutting down")
 		return
+	case errors.Is(err, ErrJournal):
+		// The write-ahead log is the durability contract; a request the
+		// journal cannot record is a server fault, not a bad request.
+		errorJSON(w, http.StatusInternalServerError, err.Error())
+		return
 	case err != nil:
 		errorJSON(w, http.StatusBadRequest, err.Error())
 		return
@@ -190,9 +210,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// The registry buffers the whole exposition before writing, so a
+	// failing exporter yields a clean 500 instead of a torn scrape that
+	// Prometheus would half-ingest.
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	if err := s.reg.WritePrometheus(w); err != nil && s.log != nil {
-		fmt.Fprintf(s.log, "metrics scrape: %v\n", err)
+	if err := s.reg.WritePrometheus(w); err != nil {
+		if s.log != nil {
+			fmt.Fprintf(s.log, "metrics scrape: %v\n", err)
+		}
+		errorJSON(w, http.StatusInternalServerError, "metrics scrape failed: "+err.Error())
 	}
 }
 
@@ -216,19 +242,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 	ctx := r.Context()
-	// next blocks on the job's condvar, which knows nothing about HTTP:
-	// wake it when the client goes away so the handler can exit.
-	watcherDone := make(chan struct{})
-	defer close(watcherDone)
-	go func() {
-		select {
-		case <-ctx.Done():
-			j.mu.Lock()
-			j.cond.Broadcast()
-			j.mu.Unlock()
-		case <-watcherDone:
-		}
-	}()
+	// next selects on the request context directly, so a slow or
+	// vanished client can never strand a waiter or leak a watcher
+	// goroutine: when the connection drops, the wait unblocks and the
+	// handler returns.
 	idx := 0
 	for {
 		evs, complete := j.next(idx, ctx.Done())

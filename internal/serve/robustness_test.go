@@ -1,0 +1,406 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"turnmodel/internal/metrics"
+)
+
+// TestJobTimeoutPerRequest: a request-level timeout_seconds bound moves
+// the job to state "timeout" promptly (the engine polls cancellation
+// every 1024 cycles), increments the timeout counter, and — because a
+// timeout is a transient operational outcome — a resubmission replaces
+// the job rather than being deduped onto it.
+func TestJobTimeoutPerRequest(t *testing.T) {
+	store := newTestStore(t, Config{})
+	ts := httptest.NewServer(NewServer(store, metrics.NewRegistry(), nil))
+	defer ts.Close()
+
+	req := longReq(3001)
+	req.TimeoutSeconds = 0.2
+	sr, resp := postJob(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	begin := time.Now()
+	st := waitState(t, ts, sr.ID, StateTimeout)
+	if elapsed := time.Since(begin); elapsed > 10*time.Second {
+		t.Errorf("timeout took %v; want well under the poll budget", elapsed)
+	}
+	if !strings.Contains(st.Error, "deadline exceeded") {
+		t.Errorf("timeout status error = %q", st.Error)
+	}
+	if n := store.timeouts.Load(); n != 1 {
+		t.Errorf("timeouts counter = %d, want 1", n)
+	}
+	if !scrapeContains(t, ts, "turnserver_jobs_timeout_total 1") {
+		t.Error("metrics scrape missing the timeout counter")
+	}
+
+	// Timeout is replaceable: the same body admits a fresh job.
+	again, resp2 := postJob(t, ts, req)
+	if resp2.StatusCode != http.StatusAccepted || again.Existing {
+		t.Fatalf("resubmit after timeout = %d %+v, want a fresh 202", resp2.StatusCode, again)
+	}
+	waitState(t, ts, again.ID, StateTimeout)
+}
+
+// TestJobTimeoutServerDefault: the server-wide JobTimeout applies when
+// the request does not set one, and requests can only tighten it.
+func TestJobTimeoutServerDefault(t *testing.T) {
+	store := newTestStore(t, Config{JobTimeout: 200 * time.Millisecond})
+	ts := httptest.NewServer(NewServer(store, nil, nil))
+	defer ts.Close()
+
+	sr, _ := postJob(t, ts, longReq(3002))
+	waitState(t, ts, sr.ID, StateTimeout)
+
+	// A looser request timeout does not widen the server bound.
+	req := longReq(3003)
+	req.TimeoutSeconds = 3600
+	sr2, _ := postJob(t, ts, req)
+	begin := time.Now()
+	waitState(t, ts, sr2.ID, StateTimeout)
+	if elapsed := time.Since(begin); elapsed > 10*time.Second {
+		t.Errorf("server bound not enforced: took %v", elapsed)
+	}
+}
+
+// scrapeContains fetches /metrics and reports whether it contains want.
+func scrapeContains(t *testing.T, ts *httptest.Server, want string) bool {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return strings.Contains(string(b), want)
+}
+
+// TestPanicQuarantine: a panicking job is marked poisoned with its
+// stack in the status and the terminal SSE event, the worker survives
+// to run the next job, and resubmitting the poisoned configuration
+// returns the quarantined job instead of re-running it.
+func TestPanicQuarantine(t *testing.T) {
+	store := newTestStore(t, Config{Jobs: 1})
+	store.testHook = func(j *Job) {
+		if j.Req.Seed == 3004 {
+			panic("injected failure")
+		}
+	}
+	ts := httptest.NewServer(NewServer(store, metrics.NewRegistry(), nil))
+	defer ts.Close()
+
+	bad, _ := postJob(t, ts, quickReq(3004))
+	st := waitState(t, ts, bad.ID, StatePoisoned)
+	if !strings.Contains(st.Error, "panic: injected failure") {
+		t.Errorf("poisoned error = %q", st.Error)
+	}
+	if !strings.Contains(st.Stack, "goroutine") {
+		t.Errorf("poisoned status carries no stack: %q", st.Stack)
+	}
+
+	// The worker survived the panic: an untainted job still completes.
+	good, _ := postJob(t, ts, quickReq(3005))
+	waitState(t, ts, good.ID, StateDone)
+
+	// The quarantine is sticky in-process too.
+	again, resp := postJob(t, ts, quickReq(3004))
+	if resp.StatusCode != http.StatusOK || !again.Existing || again.ID != bad.ID {
+		t.Fatalf("resubmit of poisoned config = %d %+v, want the quarantined job", resp.StatusCode, again)
+	}
+	if !scrapeContains(t, ts, "turnserver_jobs_poisoned_total 1") {
+		t.Error("metrics scrape missing the poisoned counter")
+	}
+
+	// The poisoned job's stream terminates with the poisoned event (and
+	// its stack) rather than hanging.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + bad.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(stream), "event: poisoned") {
+		t.Errorf("stream missing poisoned event:\n%s", stream)
+	}
+}
+
+// TestHealthzReadyzShedding: /healthz is pure liveness (always 200 on
+// a serving process) while /readyz flips 503 once the queue crosses the
+// shed threshold — before admissions start bouncing with 429 — and
+// recovers when the queue drains.
+func TestHealthzReadyzShedding(t *testing.T) {
+	store := newTestStore(t, Config{Jobs: 1, QueueDepth: 4, ShedThreshold: 2})
+	ts := httptest.NewServer(NewServer(store, nil, nil))
+	defer ts.Close()
+
+	statusOf := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := statusOf("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d", got)
+	}
+	if got := statusOf("/readyz"); got != http.StatusOK {
+		t.Fatalf("idle /readyz = %d", got)
+	}
+
+	// One running + two queued reaches the shed threshold.
+	a, _ := postJob(t, ts, longReq(3006))
+	waitState(t, ts, a.ID, StateRunning)
+	var queued []submitResponse
+	for seed := int64(3007); seed <= 3008; seed++ {
+		sr, resp := postJob(t, ts, longReq(seed))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("queue fill submit = %d", resp.StatusCode)
+		}
+		queued = append(queued, sr)
+	}
+	if got := statusOf("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("saturated /readyz = %d, want 503", got)
+	}
+	// Shedding is advisory: liveness stays green and admissions below
+	// the hard QueueDepth still succeed.
+	if got := statusOf("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz under shed = %d", got)
+	}
+	extra, resp := postJob(t, ts, longReq(3009))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit while shedding = %d, want 202", resp.StatusCode)
+	}
+	queued = append(queued, extra)
+
+	// Drain: cancel everything; canceled queue entries are skimmed off
+	// by the worker, so readiness recovers.
+	store.Cancel(a.ID)
+	for _, sr := range queued {
+		store.Cancel(sr.ID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for statusOf("/readyz") != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never recovered after draining the queue")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The readiness reason is machine-readable JSON.
+	store2 := newTestStore(t, Config{})
+	store2.Close()
+	srv2 := httptest.NewServer(NewServer(store2, nil, nil))
+	defer srv2.Close()
+	r2, err := http.Get(srv2.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusServiceUnavailable || body.Error == "" {
+		t.Fatalf("closed-store /readyz = %d %+v", r2.StatusCode, body)
+	}
+}
+
+// TestStreamDisconnectReleasesGoroutines is the goroutine-lifetime
+// regression test for the SSE tail: subscribers that vanish mid-stream
+// must not leave watcher goroutines (or blocked writers) behind. The
+// wait is channel-based, so the count must return to its pre-stream
+// baseline while the job is still running.
+func TestStreamDisconnectReleasesGoroutines(t *testing.T) {
+	store := newTestStore(t, Config{})
+	ts := httptest.NewServer(NewServer(store, nil, nil))
+	defer ts.Close()
+
+	sr, _ := postJob(t, ts, longReq(3010))
+	waitState(t, ts, sr.ID, StateRunning)
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	const streams = 8
+	var wg sync.WaitGroup
+	cancels := make([]context.CancelFunc, 0, streams)
+	for i := 0; i < streams; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels = append(cancels, cancel)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+sr.ID+"/stream", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Read until the stream has demonstrably started (the replayed
+		// running event arrived), then keep the body open.
+		buf := make([]byte, 1)
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			io.Copy(io.Discard, resp.Body) // unblocks on cancel
+			resp.Body.Close()
+		}()
+	}
+	// All 8 streams are live against a job that will not finish.
+	for _, cancel := range cancels {
+		cancel()
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines after stream disconnects = %d, baseline %d: SSE tail leaked", n, baseline)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	store.Cancel(sr.ID)
+	waitState(t, ts, sr.ID, StateCanceled)
+}
+
+// TestCloseConcurrentWithTraffic hammers one store with concurrent
+// Submit, stream-follow, Cancel and metrics traffic while Close runs —
+// the shutdown race the -race CI job exists to catch. After Close every
+// job must be terminal and further submissions refused.
+func TestCloseConcurrentWithTraffic(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		store, err := NewStore(Config{Jobs: 2, QueueDepth: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		var jobs sync.Map
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					j, _, err := store.Submit(longReq(int64(4000 + round*100 + g*10 + i%8)))
+					if err != nil {
+						if err == ErrClosed {
+							return
+						}
+						continue // queue full: keep hammering
+					}
+					jobs.Store(j.ID, j)
+					if i%3 == 0 {
+						store.Cancel(j.ID)
+					}
+				}
+			}(g)
+		}
+		// Stream followers ride the jobs the submitters create.
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					jobs.Range(func(_, v any) bool {
+						j := v.(*Job)
+						from := 0
+						for {
+							events, complete := j.next(from, stop)
+							from += len(events)
+							if complete || events == nil {
+								return true // next job
+							}
+						}
+					})
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					store.WriteMetrics(io.Discard)
+					store.Jobs()
+				}
+			}
+		}()
+
+		time.Sleep(50 * time.Millisecond)
+		store.Close()
+		close(stop)
+		wg.Wait()
+
+		jobs.Range(func(_, v any) bool {
+			j := v.(*Job)
+			if !j.State().terminal() {
+				t.Errorf("round %d: job %s left in %s after Close", round, j.ID, j.State())
+			}
+			return true
+		})
+		if _, _, err := store.Submit(quickReq(int64(4900 + round))); err != ErrClosed {
+			t.Errorf("round %d: Submit after Close = %v, want ErrClosed", round, err)
+		}
+	}
+}
+
+// TestMetricsEndpointFailure: a failing exporter turns the scrape into
+// a 500 with nothing written — Prometheus must never ingest a torn
+// exposition.
+func TestMetricsEndpointFailure(t *testing.T) {
+	store := newTestStore(t, Config{})
+	reg := metrics.NewRegistry()
+	reg.Register(func(w io.Writer) error {
+		fmt.Fprintln(w, "partial_metric 1")
+		return fmt.Errorf("exporter exploded")
+	})
+	ts := httptest.NewServer(NewServer(store, reg, nil))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("/metrics with failing exporter = %d, want 500", resp.StatusCode)
+	}
+	if strings.Contains(string(body), "partial_metric") {
+		t.Fatalf("torn scrape leaked partial output: %s", body)
+	}
+}

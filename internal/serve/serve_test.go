@@ -13,6 +13,18 @@ import (
 	"turnmodel/internal/exp"
 )
 
+// newTestStore builds a store, failing the test on error and closing
+// it at cleanup.
+func newTestStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
 // quickReq builds a tiny fig13 job (one load point, short window) that
 // still runs every algorithm line. Distinct seeds keep tests from
 // colliding in the process-global sweep cache.
@@ -88,8 +100,7 @@ func waitState(t *testing.T, ts *httptest.Server, id string, want ...JobState) S
 // event, and both the streamed and GET result bodies are byte-identical
 // to an in-process exp.RunFigure + WriteFigureJSON render.
 func TestSubmitStreamResultByteIdentical(t *testing.T) {
-	store := NewStore(Config{})
-	defer store.Close()
+	store := newTestStore(t, Config{})
 	ts := httptest.NewServer(NewServer(store, nil, nil))
 	defer ts.Close()
 
@@ -177,8 +188,7 @@ func extractSSEResult(t *testing.T, stream string) string {
 // table, same process-global sweep cache) it completes as a cache hit
 // without running a single leaf simulation.
 func TestResubmitServedFromCache(t *testing.T) {
-	store := NewStore(Config{})
-	defer store.Close()
+	store := newTestStore(t, Config{})
 	ts := httptest.NewServer(NewServer(store, nil, nil))
 	defer ts.Close()
 
@@ -200,8 +210,7 @@ func TestResubmitServedFromCache(t *testing.T) {
 
 	// Fresh store: a new job, but the sweep cache serves it with zero
 	// leaf runs.
-	store2 := NewStore(Config{})
-	defer store2.Close()
+	store2 := newTestStore(t, Config{})
 	ts2 := httptest.NewServer(NewServer(store2, nil, nil))
 	defer ts2.Close()
 	fresh, _ := postJob(t, ts2, req)
@@ -232,8 +241,7 @@ func TestResubmitServedFromCache(t *testing.T) {
 // of one, a third concurrent job is rejected with 429 + Retry-After
 // while the in-flight jobs are left alone.
 func TestQueueOverflowReturns429(t *testing.T) {
-	store := NewStore(Config{Jobs: 1, QueueDepth: 1})
-	defer store.Close()
+	store := newTestStore(t, Config{Jobs: 1, QueueDepth: 1})
 	ts := httptest.NewServer(NewServer(store, nil, nil))
 	defer ts.Close()
 
@@ -276,8 +284,7 @@ func TestQueueOverflowReturns429(t *testing.T) {
 // TestCancelQueuedJob: canceling a job that never started transitions
 // it straight to canceled and its stream terminates.
 func TestCancelQueuedJob(t *testing.T) {
-	store := NewStore(Config{Jobs: 1, QueueDepth: 2})
-	defer store.Close()
+	store := newTestStore(t, Config{Jobs: 1, QueueDepth: 2})
 	ts := httptest.NewServer(NewServer(store, nil, nil))
 	defer ts.Close()
 
@@ -305,8 +312,7 @@ func TestCancelQueuedJob(t *testing.T) {
 // TestMetricsEndpoint: /metrics scrapes the shared registry, so the
 // store counters show up after a job runs.
 func TestMetricsEndpoint(t *testing.T) {
-	store := NewStore(Config{})
-	defer store.Close()
+	store := newTestStore(t, Config{})
 	ts := httptest.NewServer(NewServer(store, nil, nil))
 	defer ts.Close()
 
@@ -329,8 +335,7 @@ func TestMetricsEndpoint(t *testing.T) {
 // TestBadRequests: unknown figures, malformed bodies and unknown job
 // IDs are 4xx, not 5xx.
 func TestBadRequests(t *testing.T) {
-	store := NewStore(Config{})
-	defer store.Close()
+	store := newTestStore(t, Config{})
 	ts := httptest.NewServer(NewServer(store, nil, nil))
 	defer ts.Close()
 
@@ -370,7 +375,7 @@ func TestBadRequests(t *testing.T) {
 // TestStoreClose: Close cancels everything, further submissions are
 // refused, and Close is idempotent.
 func TestStoreClose(t *testing.T) {
-	store := NewStore(Config{Jobs: 1, QueueDepth: 4})
+	store := newTestStore(t, Config{Jobs: 1, QueueDepth: 4})
 	j, _, err := store.Submit(longReq(1010))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"testing"
+)
+
+// TestJobStatePredicates pins the lifecycle taxonomy: which states are
+// terminal, and which terminals a fresh submission may replace.
+func TestJobStatePredicates(t *testing.T) {
+	cases := []struct {
+		state       JobState
+		terminal    bool
+		replaceable bool
+	}{
+		{StateQueued, false, false},
+		{StateRunning, false, false},
+		{StateDone, true, false},     // authoritative result
+		{StateFailed, true, true},    // transient: retry by resubmitting
+		{StateCanceled, true, true},  // transient: operator's choice
+		{StateTimeout, true, true},   // transient: raise the budget and retry
+		{StatePoisoned, true, false}, // quarantined: never auto-replaced
+		{JobState("bogus"), false, false},
+	}
+	for _, c := range cases {
+		if got := c.state.terminal(); got != c.terminal {
+			t.Errorf("%s.terminal() = %v, want %v", c.state, got, c.terminal)
+		}
+		if got := c.state.replaceable(); got != c.replaceable {
+			t.Errorf("%s.replaceable() = %v, want %v", c.state, got, c.replaceable)
+		}
+	}
+}
+
+// ent abbreviates journal entries in the fold tables below.
+func ent(typ, id string) journalEntry { return journalEntry{Type: typ, ID: id} }
+
+// TestFoldJournalTransitions is the table-driven replay state machine:
+// each case is a journal entry sequence for one job and the folded
+// state replay must reconstruct, including the crash edges (start with
+// no terminal), the replacement rule (submit over a replaceable
+// terminal starts a fresh incarnation) and the stickiness of done and
+// poisoned.
+func TestFoldJournalTransitions(t *testing.T) {
+	const id = "job1"
+	submit := journalEntry{Type: "submit", ID: id, Key: "k", Req: &JobRequest{Figure: "fig13"}}
+	start := func(a int) journalEntry { return journalEntry{Type: "start", ID: id, Attempt: a} }
+	cases := []struct {
+		name     string
+		entries  []journalEntry
+		state    JobState
+		attempts int
+	}{
+		{"submit only -> queued (crash before start)",
+			[]journalEntry{submit}, StateQueued, 0},
+		{"submit+start -> running (crash mid-run)",
+			[]journalEntry{submit, start(1)}, StateRunning, 1},
+		{"full happy path -> done",
+			[]journalEntry{submit, start(1), ent("done", id)}, StateDone, 1},
+		{"failure -> failed",
+			[]journalEntry{submit, start(1), ent("failed", id)}, StateFailed, 1},
+		{"cancel while running -> canceled",
+			[]journalEntry{submit, start(1), ent("canceled", id)}, StateCanceled, 1},
+		{"cancel while queued -> canceled, no attempt",
+			[]journalEntry{submit, ent("canceled", id)}, StateCanceled, 0},
+		{"deadline exceeded -> timeout",
+			[]journalEntry{submit, start(1), ent("timeout", id)}, StateTimeout, 1},
+		{"panic -> poisoned",
+			[]journalEntry{submit, start(1), ent("poisoned", id)}, StatePoisoned, 1},
+		{"two crashes -> running with two attempts",
+			[]journalEntry{submit, start(1), start(2)}, StateRunning, 2},
+		{"resubmit over failed -> fresh queued incarnation",
+			[]journalEntry{submit, start(1), ent("failed", id), submit}, StateQueued, 0},
+		{"resubmit over timeout -> fresh queued incarnation",
+			[]journalEntry{submit, start(1), ent("timeout", id), submit}, StateQueued, 0},
+		{"resubmit over done -> done stays authoritative",
+			[]journalEntry{submit, start(1), ent("done", id), submit}, StateDone, 1},
+		{"resubmit over poisoned -> quarantine stays",
+			[]journalEntry{submit, start(1), ent("poisoned", id), submit}, StatePoisoned, 1},
+		{"events after a terminal are ignored",
+			[]journalEntry{submit, start(1), ent("done", id), ent("canceled", id), start(9)}, StateDone, 1},
+		{"terminal for an unsubmitted job is ignored",
+			[]journalEntry{ent("done", id)}, JobState(""), 0},
+		{"start for an unsubmitted job is ignored",
+			[]journalEntry{start(1)}, JobState(""), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, states := foldJournal(c.entries)
+			st := states[id]
+			if st == nil {
+				if c.state != JobState("") {
+					t.Fatalf("fold dropped the job, want state %s", c.state)
+				}
+				return
+			}
+			if c.state == JobState("") {
+				t.Fatalf("fold kept an unsubmitted job: %+v", st)
+			}
+			if st.State != c.state || st.Attempts != c.attempts {
+				t.Errorf("fold = state %s attempts %d, want %s/%d", st.State, st.Attempts, c.state, c.attempts)
+			}
+		})
+	}
+}
+
+// TestFoldJournalOrder: the returned ID order is first-submission
+// order — the deterministic re-queue order after a crash — and a
+// resubmission does not move a job to the back.
+func TestFoldJournalOrder(t *testing.T) {
+	sub := func(id string) journalEntry {
+		return journalEntry{Type: "submit", ID: id, Req: &JobRequest{Figure: "fig13"}}
+	}
+	order, _ := foldJournal([]journalEntry{
+		sub("a"), sub("b"), ent("failed", "a"), sub("c"), sub("a"),
+	})
+	if got, want := len(order), 3; got != want {
+		t.Fatalf("order = %v, want 3 ids", order)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if order[i] != want {
+			t.Fatalf("order = %v, want [a b c]", order)
+		}
+	}
+}
+
+// TestRestoredJobEventLogs: the synthetic event logs of replayed jobs
+// mirror the live ones — a stream subscriber cannot tell a replayed
+// terminal from one it watched happen, except for the Replayed mark.
+func TestRestoredJobEventLogs(t *testing.T) {
+	cases := []struct {
+		name   string
+		st     replayState
+		state  JobState
+		events []string // expected event type sequence
+	}{
+		{"done", replayState{State: StateDone, Result: "{}\n", Attempts: 1},
+			StateDone, []string{"queued", "running", "done"}},
+		{"poisoned", replayState{State: StatePoisoned, Error: "panic: x", Stack: "st", Attempts: 1},
+			StatePoisoned, []string{"queued", "running", "poisoned"}},
+		{"canceled while queued", replayState{State: StateCanceled},
+			StateCanceled, []string{"queued", "canceled"}},
+		{"interrupted -> requeued", replayState{State: StateRunning, Attempts: 2},
+			StateQueued, []string{"queued"}},
+		{"never started -> requeued", replayState{State: StateQueued},
+			StateQueued, []string{"queued"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			st := c.st
+			j := restoredJob("id", &st)
+			if got := j.State(); got != c.state {
+				t.Fatalf("restored state = %s, want %s", got, c.state)
+			}
+			events, complete := j.next(0, nil)
+			if complete != c.state.terminal() {
+				t.Errorf("next complete = %v, want %v", complete, c.state.terminal())
+			}
+			if len(events) != len(c.events) {
+				t.Fatalf("events = %+v, want types %v", events, c.events)
+			}
+			for i, want := range c.events {
+				if events[i].Type != want {
+					t.Fatalf("event[%d] = %+v, want type %s", i, events[i], want)
+				}
+				if !events[i].Replayed {
+					t.Errorf("event[%d] not marked replayed: %+v", i, events[i])
+				}
+			}
+			if c.state == StateDone {
+				if res, ok := j.Result(); !ok || string(res) != "{}\n" {
+					t.Errorf("restored result = %q, %v", res, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayBackoff pins the capped exponential schedule.
+func TestReplayBackoff(t *testing.T) {
+	const base = 500 // milliseconds
+	cases := []struct{ attempt, wantMS int }{
+		{1, 500}, {2, 1000}, {3, 2000}, {4, 4000},
+		{7, 30000}, // 32s caps at 30s
+		{100, 30000},
+	}
+	for _, c := range cases {
+		if got := replayBackoff(base*1e6, c.attempt); got.Milliseconds() != int64(c.wantMS) {
+			t.Errorf("replayBackoff(500ms, %d) = %v, want %dms", c.attempt, got, c.wantMS)
+		}
+	}
+}
